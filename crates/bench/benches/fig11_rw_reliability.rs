@@ -1,0 +1,24 @@
+//! Criterion benchmark: cost of regenerating Fig. 11 (random-waypoint reliability vs. speed and validity) at smoke scale.
+//!
+//! The measured body is exactly the code path the `reproduce` binary runs for
+//! this figure, shrunk to a single-seed, single-point sweep so the benchmark
+//! doubles as a simulator-throughput regression test.
+
+use bench::smoke;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_rw_reliability");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("smoke_sweep", |b| {
+        b.iter(|| {
+            manet_sim::experiments::fig11::run(&smoke::fig11()).expect("fig11 experiment")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benchmark: cost of regenerating Fig. 12 (heterogeneous-speed reliability vs. validity and subscribers) at smoke scale.
+//!
+//! The measured body is exactly the code path the `reproduce` binary runs for
+//! this figure, shrunk to a single-seed, single-point sweep so the benchmark
+//! doubles as a simulator-throughput regression test.
+
+use bench::smoke;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_heterogeneous");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("smoke_sweep", |b| {
+        b.iter(|| {
+            manet_sim::experiments::fig12::run(&smoke::fig12()).expect("fig12 experiment")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benchmark: cost of regenerating Fig. 13 (city-section reliability vs. heartbeat upper bound) at smoke scale.
+//!
+//! The measured body is exactly the code path the `reproduce` binary runs for
+//! this figure, shrunk to a single-seed, single-point sweep so the benchmark
+//! doubles as a simulator-throughput regression test.
+
+use bench::smoke;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_heartbeat");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("smoke_sweep", |b| {
+        b.iter(|| {
+            manet_sim::experiments::city::fig13(&smoke::city()).expect("fig13 experiment")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the protocol's core data structures: the event table
+//! and its Eq. 1 garbage collection, topic matching over deep hierarchies, the
+//! neighborhood table, and the full message-handling hot path of one protocol
+//! instance under a burst of heartbeats.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use frugal::{DisseminationProtocol, EventTable, FrugalProtocol, Message, NeighborhoodTable, ProtocolConfig};
+use pubsub::{Event, EventId, ProcessId, SubscriptionSet, Topic};
+use simkit::{SimDuration, SimTime};
+use std::time::Duration;
+
+fn topic(depth: usize) -> Topic {
+    let mut t = Topic::root();
+    for i in 0..depth {
+        t = t.child(&format!("level{i}"));
+    }
+    t
+}
+
+fn event(seq: u64, topic: Topic, validity_secs: u64) -> Event {
+    Event::new(
+        EventId::new(ProcessId(seq % 17), seq),
+        topic,
+        SimTime::ZERO,
+        SimDuration::from_secs(validity_secs),
+        400,
+    )
+}
+
+fn bench_event_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_table");
+    group.warm_up_time(Duration::from_secs(1));
+
+    group.bench_function("insert_with_eq1_eviction_capacity_256", |b| {
+        b.iter(|| {
+            let mut table = EventTable::new(256);
+            for seq in 0..1024u64 {
+                let _ = table.insert(
+                    event(seq, topic(3), 60 + seq % 300),
+                    SimTime::from_secs(seq % 50),
+                );
+                if seq % 3 == 0 {
+                    table.increment_forward_count(&EventId::new(ProcessId(seq % 17), seq));
+                }
+            }
+            black_box(table.len())
+        })
+    });
+
+    group.bench_function("ids_of_interest_1000_events", |b| {
+        let mut table = EventTable::new(2048);
+        for seq in 0..1000u64 {
+            let depth = 1 + (seq % 5) as usize;
+            let _ = table.insert(event(seq, topic(depth), 600), SimTime::ZERO);
+        }
+        let subs = SubscriptionSet::single(topic(2));
+        b.iter(|| black_box(table.ids_of_interest(&subs, SimTime::from_secs(1)).len()))
+    });
+    group.finish();
+}
+
+fn bench_topic_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topic_matching");
+    group.warm_up_time(Duration::from_secs(1));
+    let subs: SubscriptionSet = (1..=8).map(topic).collect();
+    let deep = topic(12);
+    group.bench_function("matches_deep_topic_against_8_subscriptions", |b| {
+        b.iter(|| black_box(subs.matches(&deep)))
+    });
+    let other = Topic::root().child("elsewhere").child("entirely");
+    group.bench_function("rejects_unrelated_topic", |b| {
+        b.iter(|| black_box(subs.matches(&other)))
+    });
+    group.finish();
+}
+
+fn bench_neighborhood_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood_table");
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("upsert_and_collect_200_neighbors", |b| {
+        let subs = SubscriptionSet::single(topic(2));
+        b.iter(|| {
+            let mut table = NeighborhoodTable::new();
+            for i in 0..200u64 {
+                table.upsert(
+                    ProcessId(i),
+                    subs.clone(),
+                    Some(i as f64 % 40.0),
+                    SimTime::from_secs(i % 30),
+                );
+                table.record_known_event(ProcessId(i), EventId::new(ProcessId(0), i), SimTime::from_secs(i % 30));
+            }
+            black_box(table.collect_stale(SimTime::from_secs(30), SimDuration::from_secs(10)).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_protocol_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_hot_path");
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("handle_100_heartbeats_and_id_lists", |b| {
+        b.iter(|| {
+            let mut protocol = FrugalProtocol::new(ProcessId(0), ProtocolConfig::paper_default());
+            protocol.subscribe(topic(2), SimTime::ZERO);
+            for seq in 0..20u64 {
+                protocol.publish(topic(3), SimDuration::from_secs(300), 400, SimTime::ZERO);
+                let _ = seq;
+            }
+            let mut actions = 0usize;
+            for i in 1..=100u64 {
+                let now = SimTime::from_millis(i * 10);
+                let hb = Message::Heartbeat {
+                    from: ProcessId(i),
+                    subscriptions: SubscriptionSet::single(topic(2)),
+                    speed: Some(10.0),
+                };
+                actions += protocol.handle_message(&hb, now).len();
+                let ids = Message::EventIds {
+                    from: ProcessId(i),
+                    ids: vec![],
+                };
+                actions += protocol.handle_message(&ids, now).len();
+            }
+            black_box(actions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_table,
+    bench_topic_matching,
+    bench_neighborhood_table,
+    bench_protocol_hot_path
+);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Regenerates the tables behind every figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce -- [EXPERIMENT] [--paper] [--csv]
+//! ```
+//!
+//! `EXPERIMENT` is one of `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`,
+//! `fig17`, `fig18`, `fig19`, `fig20`, `frugality` (= fig17–20 in one sweep),
+//! `ablation`, or `all` (the default). Without `--paper` the reduced smoke
+//! configurations are used (seconds to minutes); with `--paper` the paper's
+//! full methodology runs (150 nodes, 30 seeds — hours). `--csv` prints CSV
+//! instead of Markdown.
+
+use manet_sim::experiments::{ablation, city, fig11, fig12, frugality};
+use manet_sim::DataTable;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    Quick,
+    Paper,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Markdown,
+    Csv,
+}
+
+fn print_table(table: &DataTable, format: Format) {
+    match format {
+        Format::Markdown => println!("{}", table.to_markdown()),
+        Format::Csv => {
+            println!("# {}", table.title());
+            println!("{}", table.to_csv());
+        }
+    }
+}
+
+fn run_fig11(scale: Scale, format: Format) {
+    let config = match scale {
+        Scale::Paper => fig11::Fig11Config::paper(),
+        Scale::Quick => fig11::Fig11Config::quick(),
+    };
+    match fig11::run(&config) {
+        Ok(tables) => tables.iter().for_each(|t| print_table(t, format)),
+        Err(err) => eprintln!("fig11 failed: {err}"),
+    }
+}
+
+fn run_fig12(scale: Scale, format: Format) {
+    let config = match scale {
+        Scale::Paper => fig12::Fig12Config::paper(),
+        Scale::Quick => fig12::Fig12Config::quick(),
+    };
+    match fig12::run(&config) {
+        Ok(table) => print_table(&table, format),
+        Err(err) => eprintln!("fig12 failed: {err}"),
+    }
+}
+
+fn city_config(scale: Scale) -> city::CityConfig {
+    match scale {
+        Scale::Paper => city::CityConfig::paper(),
+        Scale::Quick => city::CityConfig::quick(),
+    }
+}
+
+fn run_fig13(scale: Scale, format: Format) {
+    match city::fig13(&city_config(scale)) {
+        Ok(table) => print_table(&table, format),
+        Err(err) => eprintln!("fig13 failed: {err}"),
+    }
+}
+
+fn run_fig14_15(scale: Scale, format: Format, want14: bool, want15: bool) {
+    match city::fig14_15(&city_config(scale)) {
+        Ok((fig14, fig15)) => {
+            if want14 {
+                print_table(&fig14, format);
+            }
+            if want15 {
+                print_table(&fig15, format);
+            }
+        }
+        Err(err) => eprintln!("fig14/15 failed: {err}"),
+    }
+}
+
+fn run_fig16(scale: Scale, format: Format) {
+    match city::fig16(&city_config(scale)) {
+        Ok(table) => print_table(&table, format),
+        Err(err) => eprintln!("fig16 failed: {err}"),
+    }
+}
+
+fn run_frugality(scale: Scale, format: Format, figures: &[u8]) {
+    let config = match scale {
+        Scale::Paper => frugality::FrugalityConfig::paper(),
+        Scale::Quick => frugality::FrugalityConfig::quick(),
+    };
+    match frugality::run(&config) {
+        Ok(tables) => {
+            if figures.contains(&17) {
+                print_table(&tables.bandwidth_kb, format);
+            }
+            if figures.contains(&18) {
+                print_table(&tables.events_sent, format);
+            }
+            if figures.contains(&19) {
+                print_table(&tables.duplicates, format);
+            }
+            if figures.contains(&20) {
+                print_table(&tables.parasites, format);
+            }
+        }
+        Err(err) => eprintln!("frugality comparison failed: {err}"),
+    }
+}
+
+fn run_ablation(scale: Scale, format: Format) {
+    let config = match scale {
+        Scale::Paper => ablation::AblationConfig::paper(),
+        Scale::Quick => ablation::AblationConfig::quick(),
+    };
+    match ablation::run(&config) {
+        Ok(table) => print_table(&table, format),
+        Err(err) => eprintln!("ablation failed: {err}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    let format = if args.iter().any(|a| a == "--csv") {
+        Format::Csv
+    } else {
+        Format::Markdown
+    };
+    let experiment = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_lowercase();
+
+    if scale == Scale::Quick {
+        eprintln!(
+            "# Running at smoke-test scale (reduced population, seeds and durations).\n\
+             # Pass --paper for the full Section 5.1 methodology (much slower).\n"
+        );
+    }
+
+    match experiment.as_str() {
+        "fig11" => run_fig11(scale, format),
+        "fig12" => run_fig12(scale, format),
+        "fig13" => run_fig13(scale, format),
+        "fig14" => run_fig14_15(scale, format, true, false),
+        "fig15" => run_fig14_15(scale, format, false, true),
+        "fig16" => run_fig16(scale, format),
+        "fig17" => run_frugality(scale, format, &[17]),
+        "fig18" => run_frugality(scale, format, &[18]),
+        "fig19" => run_frugality(scale, format, &[19]),
+        "fig20" => run_frugality(scale, format, &[20]),
+        "frugality" => run_frugality(scale, format, &[17, 18, 19, 20]),
+        "ablation" => run_ablation(scale, format),
+        "all" => {
+            run_fig11(scale, format);
+            run_fig12(scale, format);
+            run_fig13(scale, format);
+            run_fig14_15(scale, format, true, true);
+            run_fig16(scale, format);
+            run_frugality(scale, format, &[17, 18, 19, 20]);
+            run_ablation(scale, format);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment {other:?}; expected one of fig11..fig20, frugality, ablation, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! # bench — benchmark harness for the paper's evaluation
+//!
+//! This crate hosts two things:
+//!
+//! * the `reproduce` binary (`cargo run --release -p bench --bin reproduce`),
+//!   which regenerates the tables behind every figure of the paper's
+//!   evaluation section (Fig. 11–20), at smoke-test scale by default and at the
+//!   paper's full scale with `--paper`;
+//! * one Criterion benchmark per figure plus micro-benchmarks of the core data
+//!   structures. The Criterion benches run *smoke-sized* versions of each
+//!   experiment so `cargo bench` completes in minutes; they measure the cost of
+//!   regenerating each figure, and their reports double as a regression harness
+//!   for simulator throughput.
+//!
+//! The [`smoke`] module defines the single-point experiment configurations the
+//! Criterion benches use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod smoke {
+    //! Single-point, single-seed experiment configurations used by the
+    //! Criterion benches: small enough to run in well under a second each,
+    //! while exercising exactly the same code paths as the full experiments.
+
+    use manet_sim::experiments::{ablation, city, fig11, fig12, frugality, Effort};
+    use manet_sim::SeedPlan;
+    use simkit::SimDuration;
+
+    /// A one-cell Figure 11 sweep (one speed, one validity, one seed).
+    pub fn fig11() -> fig11::Fig11Config {
+        fig11::Fig11Config {
+            speeds: vec![10.0],
+            validities: vec![SimDuration::from_secs(40)],
+            subscriber_fractions: vec![0.8],
+            seeds: SeedPlan::new(1, 1),
+            effort: Effort::Quick,
+        }
+    }
+
+    /// A one-cell Figure 12 sweep.
+    pub fn fig12() -> fig12::Fig12Config {
+        fig12::Fig12Config {
+            speed_range: (1.0, 40.0),
+            validities: vec![SimDuration::from_secs(40)],
+            subscriber_fractions: vec![0.6],
+            seeds: SeedPlan::new(1, 1),
+            effort: Effort::Quick,
+        }
+    }
+
+    /// A city-section configuration with two publishers and one seed.
+    pub fn city() -> city::CityConfig {
+        city::CityConfig {
+            publishers: vec![0, 7],
+            seeds: SeedPlan::new(1, 1),
+            warmup: SimDuration::from_secs(10),
+            hb_upper_bounds: vec![SimDuration::from_secs(1)],
+            subscriber_fractions: vec![1.0],
+            validities: vec![SimDuration::from_secs(60)],
+            default_validity: SimDuration::from_secs(60),
+            default_hb_upper_bound: SimDuration::from_secs(1),
+            ..city::CityConfig::quick()
+        }
+    }
+
+    /// A one-cell frugality comparison (all four protocols, one seed).
+    pub fn frugality() -> frugality::FrugalityConfig {
+        frugality::FrugalityConfig {
+            subscriber_fractions: vec![0.6],
+            event_counts: vec![3],
+            protocols: frugality::FrugalityConfig::all_protocols(),
+            seeds: SeedPlan::new(1, 1),
+            effort: Effort::Quick,
+            measurement: SimDuration::from_secs(30),
+        }
+    }
+
+    /// A two-variant ablation (paper defaults vs. no speed adaptation).
+    pub fn ablation() -> ablation::AblationConfig {
+        let mut config = ablation::AblationConfig::quick();
+        config.variants.truncate(2);
+        config.seeds = SeedPlan::new(1, 1);
+        config.validity = SimDuration::from_secs(30);
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::smoke;
+
+    #[test]
+    fn smoke_configs_are_single_seed() {
+        assert_eq!(smoke::fig11().seeds.runs, 1);
+        assert_eq!(smoke::fig12().seeds.runs, 1);
+        assert_eq!(smoke::city().seeds.runs, 1);
+        assert_eq!(smoke::frugality().seeds.runs, 1);
+        assert_eq!(smoke::ablation().seeds.runs, 1);
+    }
+
+    #[test]
+    fn smoke_fig11_runs_quickly_and_produces_a_table() {
+        let tables = manet_sim::experiments::fig11::run(&smoke::fig11()).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows().len(), 1);
+    }
+}

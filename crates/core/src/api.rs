@@ -1,0 +1,156 @@
+//! The simulator-facing protocol interface.
+//!
+//! Dissemination protocols are written as **pure state machines**: they never
+//! touch a clock, a socket or a scheduler themselves. Instead every input
+//! (application call, received message, expired timer) returns a list of
+//! [`Action`]s that the embedding environment — the discrete-event simulator,
+//! an example binary, or a real MAC — is responsible for carrying out. This
+//! keeps the paper's algorithm and the three flooding baselines testable in
+//! isolation and guarantees that all of them are driven through exactly the
+//! same interface in the experiments.
+
+use crate::messages::Message;
+use crate::metrics::ProtocolMetrics;
+use pubsub::{Event, EventId, ProcessId, SubscriptionSet, Topic};
+use simkit::{SimDuration, SimTime};
+use std::fmt::Debug;
+
+/// The timers a protocol may arm. Each kind has at most one pending instance
+/// per process: arming it again re-schedules it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TimerKind {
+    /// Periodic heartbeat emission (neighborhood detection).
+    Heartbeat,
+    /// Periodic garbage collection of the neighborhood table.
+    NeighborhoodGc,
+    /// The dissemination back-off before sending pending events.
+    BackOff,
+    /// The fixed-period retransmission timer of the flooding baselines.
+    FloodTick,
+}
+
+/// An effect requested by a protocol, to be executed by the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Broadcast `message` to the one-hop neighborhood.
+    Broadcast(Message),
+    /// Deliver `event` to the local application (it matched a subscription and
+    /// had not been delivered before).
+    Deliver(Event),
+    /// Arm (or re-arm) the timer `kind` to fire `after` from now.
+    SetTimer {
+        /// Which timer to arm.
+        kind: TimerKind,
+        /// Delay from the current instant.
+        after: SimDuration,
+    },
+    /// Cancel the pending timer `kind`, if armed.
+    CancelTimer(TimerKind),
+}
+
+impl Action {
+    /// Convenience accessor: the broadcast message, if this action is one.
+    pub fn as_broadcast(&self) -> Option<&Message> {
+        match self {
+            Action::Broadcast(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the delivered event, if this action is one.
+    pub fn as_delivery(&self) -> Option<&Event> {
+        match self {
+            Action::Deliver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A topic-based dissemination protocol for MANETs.
+///
+/// Implemented by the paper's [`FrugalProtocol`](crate::FrugalProtocol) and by
+/// the three flooding baselines of the evaluation section.
+pub trait DisseminationProtocol: Debug + Send {
+    /// A short, stable name used in experiment reports (e.g. `"frugal"`).
+    fn name(&self) -> &'static str;
+
+    /// The identifier of this process.
+    fn id(&self) -> ProcessId;
+
+    /// The current subscriptions of this process.
+    fn subscriptions(&self) -> &SubscriptionSet;
+
+    /// Subscribes to `topic`.
+    fn subscribe(&mut self, topic: Topic, now: SimTime) -> Vec<Action>;
+
+    /// Unsubscribes from `topic`.
+    fn unsubscribe(&mut self, topic: &Topic, now: SimTime) -> Vec<Action>;
+
+    /// Publishes a new event on `topic` with the given validity period and
+    /// payload size, returning its identifier and the resulting actions.
+    fn publish(
+        &mut self,
+        topic: Topic,
+        validity: SimDuration,
+        payload_bytes: usize,
+        now: SimTime,
+    ) -> (EventId, Vec<Action>);
+
+    /// Handles a message received from the broadcast medium.
+    fn handle_message(&mut self, message: &Message, now: SimTime) -> Vec<Action>;
+
+    /// Handles the expiration of a previously armed timer.
+    fn handle_timer(&mut self, kind: TimerKind, now: SimTime) -> Vec<Action>;
+
+    /// Informs the protocol of the current speed of its host device in m/s
+    /// (`None` if no tachometer is available). The paper uses this only as an
+    /// optimization for the adaptive heartbeat period.
+    fn update_speed(&mut self, speed: Option<f64>);
+
+    /// The metrics accumulated so far.
+    fn metrics(&self) -> &ProtocolMetrics;
+
+    /// `true` if the event has been delivered to the local application — the
+    /// per-node predicate behind the reliability figures.
+    fn has_delivered(&self, id: &EventId) -> bool {
+        self.metrics().has_delivered(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub::SubscriptionSet;
+
+    #[test]
+    fn action_accessors() {
+        let msg = Message::Heartbeat {
+            from: ProcessId(1),
+            subscriptions: SubscriptionSet::new(),
+            speed: None,
+        };
+        let broadcast = Action::Broadcast(msg.clone());
+        assert_eq!(broadcast.as_broadcast(), Some(&msg));
+        assert_eq!(broadcast.as_delivery(), None);
+
+        let set = Action::SetTimer {
+            kind: TimerKind::Heartbeat,
+            after: SimDuration::from_secs(1),
+        };
+        assert_eq!(set.as_broadcast(), None);
+        assert_eq!(Action::CancelTimer(TimerKind::BackOff).as_delivery(), None);
+    }
+
+    #[test]
+    fn timer_kinds_are_distinct_hashable() {
+        let set: std::collections::HashSet<_> = [
+            TimerKind::Heartbeat,
+            TimerKind::NeighborhoodGc,
+            TimerKind::BackOff,
+            TimerKind::FloodTick,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 4);
+    }
+}

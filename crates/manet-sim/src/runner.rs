@@ -1,0 +1,194 @@
+//! Multi-seed experiment execution.
+//!
+//! Every data point of the paper is an average over 30 independent simulation
+//! runs. [`run_scenario`] executes one scenario over a set of seeds — in
+//! parallel, one thread per available core — and aggregates the reports into an
+//! [`ExperimentPoint`].
+
+use crate::report::{ExperimentPoint, RunReport};
+use crate::scenario::{Scenario, ScenarioError};
+use crate::world::World;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many seeds to use for one experiment point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedPlan {
+    /// First seed (seeds are `first_seed..first_seed + runs`).
+    pub first_seed: u64,
+    /// Number of runs.
+    pub runs: u64,
+}
+
+impl SeedPlan {
+    /// The paper's methodology: 30 runs.
+    pub fn paper() -> Self {
+        SeedPlan {
+            first_seed: 1,
+            runs: 30,
+        }
+    }
+
+    /// A cheap smoke-test plan (3 runs), used by the quick experiment mode and
+    /// the Criterion benchmarks.
+    pub fn quick() -> Self {
+        SeedPlan {
+            first_seed: 1,
+            runs: 3,
+        }
+    }
+
+    /// A custom plan.
+    pub fn new(first_seed: u64, runs: u64) -> Self {
+        SeedPlan { first_seed, runs }
+    }
+
+    /// The seeds of this plan.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        self.first_seed..self.first_seed + self.runs
+    }
+}
+
+/// Runs `scenario` once per seed of `plan` and aggregates the results.
+///
+/// Runs execute in parallel on up to `available_parallelism()` threads; the
+/// aggregation is deterministic because every run is keyed by its own seed.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the scenario fails validation.
+pub fn run_scenario(scenario: &Scenario, plan: SeedPlan) -> Result<ExperimentPoint, ScenarioError> {
+    scenario.validate()?;
+    let reports = run_scenario_reports(scenario, plan)?;
+    let mut point = ExperimentPoint::new();
+    for report in &reports {
+        point.add(report);
+    }
+    Ok(point)
+}
+
+/// Runs `scenario` once per seed of `plan` and returns every individual report,
+/// ordered by seed.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the scenario fails validation.
+pub fn run_scenario_reports(
+    scenario: &Scenario,
+    plan: SeedPlan,
+) -> Result<Vec<RunReport>, ScenarioError> {
+    scenario.validate()?;
+    let seeds: Vec<u64> = plan.seeds().collect();
+    if seeds.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(seeds.len());
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; seeds.len()]);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= seeds.len() {
+                    break;
+                }
+                let seed = seeds[index];
+                let world = World::new(scenario.clone(), seed)
+                    .expect("scenario validated before spawning workers");
+                let report = world.run();
+                results.lock()[index] = Some(report);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    Ok(results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every seed produces a report"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder};
+    use frugal::ProtocolConfig;
+    use mobility::Area;
+    use netsim::RadioConfig;
+    use simkit::{SimDuration, SimTime};
+
+    fn tiny_scenario() -> Scenario {
+        ScenarioBuilder::new()
+            .label("tiny")
+            .nodes(6)
+            .subscriber_fraction(1.0)
+            .protocol(ProtocolKind::Frugal(ProtocolConfig::paper_default()))
+            .mobility(MobilityKind::RandomWaypoint {
+                area: Area::square(200.0),
+                speed_min: 5.0,
+                speed_max: 5.0,
+                pause: SimDuration::from_secs(1),
+            })
+            .radio(RadioConfig::ideal(120.0))
+            .timing(SimDuration::from_secs(2), SimDuration::from_secs(22))
+            .publications(vec![Publication {
+                publisher: PublisherChoice::Node(0),
+                topic: ".news.local".parse().unwrap(),
+                at: SimTime::from_secs(3),
+                validity: SimDuration::from_secs(19),
+                payload_bytes: 400,
+            }])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn seed_plans_enumerate_expected_seeds() {
+        assert_eq!(SeedPlan::paper().seeds().count(), 30);
+        assert_eq!(SeedPlan::quick().seeds().count(), 3);
+        let custom = SeedPlan::new(10, 4);
+        assert_eq!(custom.seeds().collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn run_scenario_aggregates_all_seeds() {
+        let scenario = tiny_scenario();
+        let point = run_scenario(&scenario, SeedPlan::new(1, 4)).unwrap();
+        assert_eq!(point.runs(), 4);
+        let r = point.reliability();
+        assert!(r.mean >= 0.0 && r.mean <= 1.0);
+        assert!(point.bandwidth_kb().mean > 0.0, "heartbeats consume bandwidth");
+    }
+
+    #[test]
+    fn reports_are_ordered_by_seed_and_deterministic() {
+        let scenario = tiny_scenario();
+        let a = run_scenario_reports(&scenario, SeedPlan::new(5, 3)).unwrap();
+        let b = run_scenario_reports(&scenario, SeedPlan::new(5, 3)).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.iter().map(|r| r.seed).collect::<Vec<_>>(), vec![5, 6, 7]);
+        assert_eq!(a, b, "parallel execution must not change results");
+    }
+
+    #[test]
+    fn empty_plan_yields_empty_results() {
+        let scenario = tiny_scenario();
+        let reports = run_scenario_reports(&scenario, SeedPlan::new(1, 0)).unwrap();
+        assert!(reports.is_empty());
+        let point = run_scenario(&scenario, SeedPlan::new(1, 0)).unwrap();
+        assert_eq!(point.runs(), 0);
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_up_front() {
+        let mut scenario = tiny_scenario();
+        scenario.node_count = 0;
+        assert!(run_scenario(&scenario, SeedPlan::quick()).is_err());
+    }
+}

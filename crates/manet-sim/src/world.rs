@@ -1,0 +1,651 @@
+//! The simulation world: nodes, radio medium and the discrete-event loop.
+//!
+//! [`World`] ties every substrate together: each node owns a dissemination
+//! protocol (frugal or a flooding baseline), a mobility model and a private
+//! random stream; the shared [`RadioMedium`] decides who hears each broadcast
+//! and whether frames collide; the event queue drives timers, transmissions,
+//! mobility ticks and scheduled publications. Running a world to completion
+//! yields a [`RunReport`] with the reliability and frugality figures of that
+//! run.
+
+use crate::report::{EventOutcome, NodeReport, RunReport};
+use crate::scenario::{MobilityKind, ProtocolKind, PublisherChoice, Scenario, ScenarioError};
+use frugal::{
+    Action, DisseminationProtocol, FloodingProtocol, FrugalProtocol, Message, ProtocolConfig,
+    ProtocolMetrics, TimerKind,
+};
+use mobility::{
+    BoxedMobility, CitySection, CitySectionConfig, Point, RandomWaypoint, RandomWaypointConfig,
+    Stationary,
+};
+use netsim::{RadioMedium, ReceptionOutcome, TrafficCounters, TxId};
+use pubsub::{EventId, ProcessId, Topic};
+use simkit::{EventHandle, EventQueue, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// One simulated process: protocol + movement + private randomness.
+#[derive(Debug)]
+struct SimNode {
+    protocol: Box<dyn DisseminationProtocol>,
+    mobility: BoxedMobility,
+    rng: SimRng,
+    /// `true` if this node subscribes to the measured topic.
+    subscriber: bool,
+}
+
+/// A broadcast waiting to go on (or currently on) the air.
+#[derive(Debug)]
+struct PendingFrame {
+    sender: usize,
+    message: Message,
+}
+
+/// Everything the event loop can be asked to do.
+#[derive(Debug)]
+enum WorldEvent {
+    /// Advance every node's position by one mobility tick.
+    MobilityTick,
+    /// Node `node` subscribes to its assigned topic (staggered at start-up).
+    Subscribe { node: usize },
+    /// A protocol timer of `node` expires.
+    Timer { node: usize, kind: TimerKind },
+    /// The MAC contention jitter of frame `frame` elapsed: put it on the air.
+    TxStart { frame: usize },
+    /// Frame `frame` (transmission `tx`) finished: resolve receptions.
+    TxEnd { frame: usize, tx: TxId },
+    /// Execute scheduled publication number `index`.
+    Publish { index: usize },
+    /// The warm-up period ended: snapshot all counters.
+    WarmupEnd,
+}
+
+/// A record of one event published during the run.
+#[derive(Debug, Clone)]
+struct PublishedRecord {
+    id: EventId,
+    publisher: usize,
+    topic: Topic,
+}
+
+/// The complete state of one simulation run.
+#[derive(Debug)]
+pub struct World {
+    scenario: Scenario,
+    seed: u64,
+    now: SimTime,
+    end: SimTime,
+    queue: EventQueue<WorldEvent>,
+    nodes: Vec<SimNode>,
+    positions: Vec<Point>,
+    medium: RadioMedium,
+    timers: HashMap<(usize, TimerKind), EventHandle>,
+    frames: Vec<Option<PendingFrame>>,
+    /// Randomness of the shared medium (contention jitter, fringe loss).
+    mac_rng: SimRng,
+    published: Vec<PublishedRecord>,
+    /// Counters captured at the end of the warm-up, subtracted from the final
+    /// report so that measurements cover only the steady-state window.
+    warmup_metrics: Option<Vec<ProtocolMetrics>>,
+    warmup_traffic: Option<Vec<TrafficCounters>>,
+    /// Wire-size accounting configuration (heartbeat size, header size, ...).
+    sizing: ProtocolConfig,
+}
+
+impl World {
+    /// Builds a world for `scenario` with the given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the scenario fails validation.
+    pub fn new(scenario: Scenario, seed: u64) -> Result<Self, ScenarioError> {
+        scenario.validate()?;
+        let master = SimRng::seed_from(seed);
+        let mut layout_rng = master.derive(0xA11);
+        let mac_rng = master.derive(0xBEEF);
+        let n = scenario.node_count;
+
+        // Choose which nodes subscribe to the measured topic.
+        let subscriber_count = scenario.subscriber_count().min(n);
+        let subscriber_indices: std::collections::HashSet<usize> = layout_rng
+            .choose_indices(n, subscriber_count)
+            .into_iter()
+            .collect();
+
+        // Build the nodes: protocol + mobility + private RNG stream.
+        let mut nodes = Vec::with_capacity(n);
+        let mut positions = Vec::with_capacity(n);
+        for index in 0..n {
+            let mut node_rng = master.derive(1000 + index as u64);
+            let mobility: BoxedMobility = match &scenario.mobility {
+                MobilityKind::RandomWaypoint {
+                    area,
+                    speed_min,
+                    speed_max,
+                    pause,
+                } => {
+                    let config =
+                        RandomWaypointConfig::new(*area, *speed_min, *speed_max, *pause);
+                    Box::new(RandomWaypoint::new(config, &mut node_rng))
+                }
+                MobilityKind::CityCampus => {
+                    let config = CitySectionConfig::paper_campus();
+                    Box::new(CitySection::new(config, &mut node_rng))
+                }
+                MobilityKind::Stationary { area } => {
+                    Box::new(Stationary::new(area.random_point(&mut node_rng)))
+                }
+                MobilityKind::StationaryLine { length } => {
+                    let spacing = if n > 1 { length / (n - 1) as f64 } else { 0.0 };
+                    Box::new(Stationary::new(Point::new(index as f64 * spacing, 0.0)))
+                }
+            };
+            let protocol: Box<dyn DisseminationProtocol> = match &scenario.protocol {
+                ProtocolKind::Frugal(config) => {
+                    Box::new(FrugalProtocol::new(ProcessId(index as u64), config.clone()))
+                }
+                ProtocolKind::Flooding(policy) => {
+                    Box::new(FloodingProtocol::new(ProcessId(index as u64), *policy))
+                }
+            };
+            positions.push(mobility.position());
+            nodes.push(SimNode {
+                protocol,
+                mobility,
+                rng: node_rng,
+                subscriber: subscriber_indices.contains(&index),
+            });
+        }
+
+        let sizing = match &scenario.protocol {
+            ProtocolKind::Frugal(config) => config.clone(),
+            ProtocolKind::Flooding(_) => ProtocolConfig::paper_default(),
+        };
+
+        let medium = RadioMedium::new(scenario.radio.clone(), n);
+        let end = SimTime::ZERO + scenario.duration;
+        let mut world = World {
+            seed,
+            now: SimTime::ZERO,
+            end,
+            queue: EventQueue::new(),
+            nodes,
+            positions,
+            medium,
+            timers: HashMap::new(),
+            frames: Vec::new(),
+            mac_rng: mac_rng.derive(7),
+            published: Vec::new(),
+            warmup_metrics: None,
+            warmup_traffic: None,
+            sizing,
+            scenario,
+        };
+
+        // Stagger the initial subscriptions over one heartbeat period so the
+        // network does not start with every node beaconing in the same slot.
+        let stagger_window = world
+            .sizing
+            .hb_upper_bound
+            .max(simkit::SimDuration::from_millis(200));
+        for node in 0..n {
+            let offset = world.mac_rng.jitter(stagger_window);
+            world
+                .queue
+                .schedule(SimTime::ZERO + offset, WorldEvent::Subscribe { node });
+        }
+        // Mobility ticks.
+        world.queue.schedule(
+            SimTime::ZERO + world.scenario.mobility_tick,
+            WorldEvent::MobilityTick,
+        );
+        // Scheduled publications.
+        for (index, publication) in world.scenario.publications.iter().enumerate() {
+            world
+                .queue
+                .schedule(publication.at, WorldEvent::Publish { index });
+        }
+        // Warm-up boundary.
+        if !world.scenario.warmup.is_zero() {
+            world
+                .queue
+                .schedule(SimTime::ZERO + world.scenario.warmup, WorldEvent::WarmupEnd);
+        }
+        Ok(world)
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The scenario this world simulates.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the simulation to the end of the scenario and returns the report.
+    pub fn run(mut self) -> RunReport {
+        while let Some(at) = self.queue.peek_time() {
+            if at > self.end {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked event must pop");
+            self.now = at;
+            self.dispatch(event);
+        }
+        self.into_report()
+    }
+
+    fn dispatch(&mut self, event: WorldEvent) {
+        match event {
+            WorldEvent::MobilityTick => self.on_mobility_tick(),
+            WorldEvent::Subscribe { node } => self.on_subscribe(node),
+            WorldEvent::Timer { node, kind } => self.on_timer(node, kind),
+            WorldEvent::TxStart { frame } => self.on_tx_start(frame),
+            WorldEvent::TxEnd { frame, tx } => self.on_tx_end(frame, tx),
+            WorldEvent::Publish { index } => self.on_publish(index),
+            WorldEvent::WarmupEnd => self.on_warmup_end(),
+        }
+    }
+
+    fn on_mobility_tick(&mut self) {
+        let tick = self.scenario.mobility_tick;
+        for (index, node) in self.nodes.iter_mut().enumerate() {
+            node.mobility.advance(tick, &mut node.rng);
+            self.positions[index] = node.mobility.position();
+            node.protocol.update_speed(Some(node.mobility.speed()));
+        }
+        let next = self.now + tick;
+        if next <= self.end {
+            self.queue.schedule(next, WorldEvent::MobilityTick);
+        }
+    }
+
+    fn on_subscribe(&mut self, node: usize) {
+        let topic = if self.nodes[node].subscriber {
+            self.scenario.subscriber_topic.clone()
+        } else {
+            self.scenario.bystander_topic.clone()
+        };
+        let now = self.now;
+        let actions = self.nodes[node].protocol.subscribe(topic, now);
+        self.apply_actions(node, actions);
+    }
+
+    fn on_timer(&mut self, node: usize, kind: TimerKind) {
+        self.timers.remove(&(node, kind));
+        let now = self.now;
+        let actions = self.nodes[node].protocol.handle_timer(kind, now);
+        self.apply_actions(node, actions);
+    }
+
+    fn on_tx_start(&mut self, frame: usize) {
+        let (sender, size) = match &self.frames[frame] {
+            Some(pending) => (
+                pending.sender,
+                pending.message.wire_size_bytes(&self.sizing),
+            ),
+            None => return,
+        };
+        let (tx, ends_at) =
+            self.medium
+                .begin_transmission(sender, self.positions[sender], size, self.now);
+        self.queue.schedule(ends_at, WorldEvent::TxEnd { frame, tx });
+    }
+
+    fn on_tx_end(&mut self, frame: usize, tx: TxId) {
+        let pending = match self.frames[frame].take() {
+            Some(pending) => pending,
+            None => return,
+        };
+        let outcomes = self
+            .medium
+            .complete_transmission(tx, &self.positions, &mut self.mac_rng);
+        let now = self.now;
+        for (receiver, outcome) in outcomes {
+            if outcome != ReceptionOutcome::Received {
+                continue;
+            }
+            let actions = self.nodes[receiver]
+                .protocol
+                .handle_message(&pending.message, now);
+            self.apply_actions(receiver, actions);
+        }
+    }
+
+    fn on_publish(&mut self, index: usize) {
+        let publication = self.scenario.publications[index].clone();
+        let publisher = self.resolve_publisher(publication.publisher);
+        let now = self.now;
+        let (id, actions) = self.nodes[publisher].protocol.publish(
+            publication.topic.clone(),
+            publication.validity,
+            publication.payload_bytes,
+            now,
+        );
+        self.published.push(PublishedRecord {
+            id,
+            publisher,
+            topic: publication.topic,
+        });
+        self.apply_actions(publisher, actions);
+    }
+
+    fn on_warmup_end(&mut self) {
+        self.warmup_metrics = Some(
+            self.nodes
+                .iter()
+                .map(|n| n.protocol.metrics().clone())
+                .collect(),
+        );
+        self.warmup_traffic = Some(self.medium.all_counters().to_vec());
+    }
+
+    fn resolve_publisher(&mut self, choice: PublisherChoice) -> usize {
+        match choice {
+            PublisherChoice::Node(index) => index.min(self.nodes.len() - 1),
+            PublisherChoice::RandomAny => self.mac_rng.index(self.nodes.len()),
+            PublisherChoice::RandomSubscriber => {
+                let subscribers: Vec<usize> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.subscriber)
+                    .map(|(i, _)| i)
+                    .collect();
+                if subscribers.is_empty() {
+                    self.mac_rng.index(self.nodes.len())
+                } else {
+                    subscribers[self.mac_rng.index(subscribers.len())]
+                }
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, node: usize, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(message) => {
+                    let jitter = self
+                        .mac_rng
+                        .jitter(self.scenario.radio.max_contention_jitter);
+                    let frame = self.frames.len();
+                    self.frames.push(Some(PendingFrame {
+                        sender: node,
+                        message,
+                    }));
+                    self.queue
+                        .schedule(self.now + jitter, WorldEvent::TxStart { frame });
+                }
+                Action::Deliver(_) => {
+                    // Delivery bookkeeping lives in the protocol metrics; the
+                    // world has nothing extra to do.
+                }
+                Action::SetTimer { kind, after } => {
+                    if let Some(handle) = self.timers.remove(&(node, kind)) {
+                        self.queue.cancel(handle);
+                    }
+                    let handle = self
+                        .queue
+                        .schedule(self.now + after, WorldEvent::Timer { node, kind });
+                    self.timers.insert((node, kind), handle);
+                }
+                Action::CancelTimer(kind) => {
+                    if let Some(handle) = self.timers.remove(&(node, kind)) {
+                        self.queue.cancel(handle);
+                    }
+                }
+            }
+        }
+    }
+
+    fn into_report(self) -> RunReport {
+        let warmup_metrics = self.warmup_metrics.unwrap_or_default();
+        let warmup_traffic = self.warmup_traffic.unwrap_or_default();
+
+        let nodes: Vec<NodeReport> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(index, node)| {
+                let metrics = node.protocol.metrics();
+                let base = warmup_metrics.get(index);
+                let traffic = *self.medium.counters(index);
+                let traffic_base = warmup_traffic.get(index).copied().unwrap_or_default();
+                NodeReport {
+                    events_sent: metrics.events_sent
+                        - base.map(|b| b.events_sent).unwrap_or(0),
+                    messages_sent: metrics.messages_sent
+                        - base.map(|b| b.messages_sent).unwrap_or(0),
+                    duplicates: metrics.duplicates_received
+                        - base.map(|b| b.duplicates_received).unwrap_or(0),
+                    parasites: metrics.parasites_received
+                        - base.map(|b| b.parasites_received).unwrap_or(0),
+                    delivered: metrics.events_delivered
+                        - base.map(|b| b.events_delivered).unwrap_or(0),
+                    traffic: TrafficCounters {
+                        frames_sent: traffic.frames_sent - traffic_base.frames_sent,
+                        bytes_sent: traffic.bytes_sent - traffic_base.bytes_sent,
+                        frames_received: traffic.frames_received - traffic_base.frames_received,
+                        bytes_received: traffic.bytes_received - traffic_base.bytes_received,
+                        frames_lost_collision: traffic.frames_lost_collision
+                            - traffic_base.frames_lost_collision,
+                        frames_lost_fringe: traffic.frames_lost_fringe
+                            - traffic_base.frames_lost_fringe,
+                    },
+                }
+            })
+            .collect();
+
+        let events: Vec<EventOutcome> = self
+            .published
+            .iter()
+            .map(|record| {
+                let subscribers = self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.protocol.subscriptions().matches(&record.topic))
+                    .count();
+                let delivered = self
+                    .nodes
+                    .iter()
+                    .filter(|n| {
+                        n.protocol.subscriptions().matches(&record.topic)
+                            && n.protocol.has_delivered(&record.id)
+                    })
+                    .count();
+                EventOutcome {
+                    id: record.id,
+                    publisher: record.publisher,
+                    subscribers,
+                    delivered,
+                }
+            })
+            .collect();
+
+        RunReport {
+            label: self.scenario.label.clone(),
+            protocol: self.scenario.protocol.name().to_owned(),
+            seed: self.seed,
+            events,
+            nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Publication, ScenarioBuilder};
+    use frugal::FloodingPolicy;
+    use mobility::Area;
+    use netsim::RadioConfig;
+    use simkit::SimDuration;
+
+    /// A small, dense, fast scenario where dissemination should succeed.
+    fn small_scenario(protocol: ProtocolKind) -> Scenario {
+        ScenarioBuilder::new()
+            .label("small")
+            .protocol(protocol)
+            .nodes(12)
+            .subscriber_fraction(0.75)
+            .mobility(MobilityKind::RandomWaypoint {
+                area: Area::square(400.0),
+                speed_min: 5.0,
+                speed_max: 10.0,
+                pause: SimDuration::from_secs(1),
+            })
+            .radio(RadioConfig::ideal(150.0))
+            .timing(SimDuration::from_secs(5), SimDuration::from_secs(65))
+            .publications(vec![Publication {
+                publisher: PublisherChoice::RandomSubscriber,
+                topic: ".news.local".parse().unwrap(),
+                at: SimTime::from_secs(6),
+                validity: SimDuration::from_secs(59),
+                payload_bytes: 400,
+            }])
+            .mobility_tick(SimDuration::from_millis(500))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn frugal_disseminates_in_a_dense_network() {
+        let scenario = small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        let report = World::new(scenario, 42).unwrap().run();
+        assert_eq!(report.events.len(), 1);
+        assert!(
+            report.reliability() > 0.8,
+            "a dense 400 m network must reach most subscribers, got {}",
+            report.reliability()
+        );
+        assert!(report.events[0].subscribers >= 8);
+    }
+
+    #[test]
+    fn simple_flooding_reaches_everyone_but_wastes_traffic() {
+        let frugal = World::new(
+            small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default())),
+            7,
+        )
+        .unwrap()
+        .run();
+        let flooding = World::new(
+            small_scenario(ProtocolKind::Flooding(FloodingPolicy::Simple)),
+            7,
+        )
+        .unwrap()
+        .run();
+        assert!(flooding.reliability() > 0.9);
+        assert!(
+            flooding.events_sent_per_process() > frugal.events_sent_per_process() * 5.0,
+            "flooding ({}) must send far more events than frugal ({})",
+            flooding.events_sent_per_process(),
+            frugal.events_sent_per_process()
+        );
+        assert!(
+            flooding.duplicates_per_process() > frugal.duplicates_per_process(),
+            "flooding must cause more duplicates"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_given_seed() {
+        let scenario = small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        let a = World::new(scenario.clone(), 11).unwrap().run();
+        let b = World::new(scenario.clone(), 11).unwrap().run();
+        assert_eq!(a, b, "same scenario + same seed must give identical reports");
+        let c = World::new(scenario, 12).unwrap().run();
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn stationary_disconnected_nodes_do_not_receive() {
+        // Nodes scattered over a huge area with a tiny radio range: the event
+        // cannot spread beyond the publisher.
+        let scenario = ScenarioBuilder::new()
+            .label("sparse")
+            .nodes(10)
+            .subscriber_fraction(1.0)
+            .mobility(MobilityKind::Stationary {
+                area: Area::square(100_000.0),
+            })
+            .radio(RadioConfig::ideal(10.0))
+            .timing(SimDuration::from_secs(1), SimDuration::from_secs(30))
+            .publications(vec![Publication {
+                publisher: PublisherChoice::Node(0),
+                topic: ".news.local".parse().unwrap(),
+                at: SimTime::from_secs(2),
+                validity: SimDuration::from_secs(25),
+                payload_bytes: 400,
+            }])
+            .build()
+            .unwrap();
+        let report = World::new(scenario, 5).unwrap().run();
+        // Only the publisher itself can have delivered the event.
+        assert!(report.events[0].delivered <= 1);
+        assert!(report.reliability() < 0.2);
+    }
+
+    #[test]
+    fn city_scenario_runs_and_produces_sane_counters() {
+        let scenario = ScenarioBuilder::city()
+            .timing(SimDuration::from_secs(10), SimDuration::from_secs(70))
+            .publications(vec![Publication {
+                publisher: PublisherChoice::Node(3),
+                topic: ".news.local".parse().unwrap(),
+                at: SimTime::from_secs(11),
+                validity: SimDuration::from_secs(58),
+                payload_bytes: 400,
+            }])
+            .build()
+            .unwrap();
+        let report = World::new(scenario, 3).unwrap().run();
+        assert_eq!(report.nodes.len(), 15);
+        assert_eq!(report.events[0].publisher, 3);
+        assert!(report.reliability() >= 0.0 && report.reliability() <= 1.0);
+        // Heartbeats flowed, so some bandwidth was consumed.
+        assert!(report.bandwidth_kb_per_process() > 0.0);
+    }
+
+    #[test]
+    fn warmup_snapshot_excludes_warmup_traffic() {
+        // Without any publication, all traffic is heartbeats; with a warm-up as
+        // long as the run minus a sliver, almost nothing should be counted.
+        let base = ScenarioBuilder::new()
+            .nodes(8)
+            .subscriber_fraction(1.0)
+            .mobility(MobilityKind::RandomWaypoint {
+                area: Area::square(200.0),
+                speed_min: 1.0,
+                speed_max: 1.0,
+                pause: SimDuration::from_secs(1),
+            })
+            .radio(RadioConfig::ideal(300.0))
+            .publications(vec![]);
+        let long_window = base
+            .clone()
+            .timing(SimDuration::from_secs(1), SimDuration::from_secs(60))
+            .build()
+            .unwrap();
+        let short_window = base
+            .timing(SimDuration::from_secs(59), SimDuration::from_secs(60))
+            .build()
+            .unwrap();
+        let long = World::new(long_window, 9).unwrap().run();
+        let short = World::new(short_window, 9).unwrap().run();
+        assert!(
+            short.bandwidth_kb_per_process() < long.bandwidth_kb_per_process() / 4.0,
+            "a 1 s measurement window must see far less traffic than a 59 s one ({} vs {})",
+            short.bandwidth_kb_per_process(),
+            long.bandwidth_kb_per_process()
+        );
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected() {
+        let mut scenario = small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        scenario.node_count = 0;
+        assert!(World::new(scenario, 1).is_err());
+    }
+}

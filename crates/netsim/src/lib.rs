@@ -1,0 +1,42 @@
+//! # netsim — wireless PHY and broadcast MAC simulation
+//!
+//! The radio substrate for the reproduction of *"Frugal Event Dissemination in
+//! a Mobile Environment"* (Middleware 2005). The paper runs its protocol
+//! directly on an 802.11b MAC inside QualNet; this crate provides the
+//! equivalent open model:
+//!
+//! * [`propagation`] — dBm arithmetic, free-space and two-ray path loss, and
+//!   range derivation from a link budget;
+//! * [`radio`] — [`RadioConfig`]: bit rates, the paper's radio ranges
+//!   (442/339/321/273 m in the open area, 44 m in the city), frame air time and
+//!   per-frame overhead;
+//! * [`medium`] — [`RadioMedium`]: the shared broadcast channel that decides,
+//!   for every transmission, which nodes hear it, which frames collide, and
+//!   keeps per-node byte/frame counters for the bandwidth experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use mobility::Point;
+//! use netsim::{RadioConfig, RadioMedium, ReceptionOutcome};
+//! use simkit::{SimRng, SimTime};
+//!
+//! let mut medium = RadioMedium::new(RadioConfig::ideal(100.0), 2);
+//! let positions = vec![Point::new(0.0, 0.0), Point::new(60.0, 0.0)];
+//! let mut rng = SimRng::seed_from(7);
+//!
+//! let (tx, _ends_at) = medium.begin_transmission(0, positions[0], 400, SimTime::ZERO);
+//! let outcomes = medium.complete_transmission(tx, &positions, &mut rng);
+//! assert_eq!(outcomes, vec![(1, ReceptionOutcome::Received)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod medium;
+pub mod propagation;
+pub mod radio;
+
+pub use medium::{RadioMedium, ReceptionOutcome, TrafficCounters, TxId};
+pub use radio::{BitRate, RadioConfig};

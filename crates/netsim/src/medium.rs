@@ -1,0 +1,473 @@
+//! The shared broadcast medium: who hears what, and which frames collide.
+//!
+//! [`RadioMedium`] models a single 802.11b-style broadcast channel:
+//!
+//! * every transmission is a **local broadcast** — it can be heard by every
+//!   node within [`RadioConfig::range_m`] of the sender (the paper's model:
+//!   "a process cannot send a message to only one of its neighboring
+//!   processes");
+//! * broadcast frames are unacknowledged and unprotected by RTS/CTS, so two
+//!   transmissions that overlap in time at a receiver **collide** and are both
+//!   lost at that receiver (this is what produces the paper's Fig. 13 dip);
+//! * a node cannot receive while it is itself transmitting (half duplex);
+//! * receivers in the outer fringe of the range suffer additional random loss,
+//!   standing in for QualNet's statistical propagation model.
+//!
+//! The medium also does per-node traffic accounting ([`TrafficCounters`]),
+//! which the frugality experiments (Fig. 17–20) read back.
+
+use crate::radio::RadioConfig;
+use mobility::Point;
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimRng, SimTime};
+
+/// Identifier of an in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(u64);
+
+/// Per-node traffic accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficCounters {
+    /// Frames this node put on the air.
+    pub frames_sent: u64,
+    /// Bytes this node put on the air (payload + per-frame overhead).
+    pub bytes_sent: u64,
+    /// Frames this node successfully received.
+    pub frames_received: u64,
+    /// Bytes this node successfully received (payload + per-frame overhead).
+    pub bytes_received: u64,
+    /// Frames lost at this node because of a collision.
+    pub frames_lost_collision: u64,
+    /// Frames lost at this node because of fringe (statistical propagation) loss.
+    pub frames_lost_fringe: u64,
+}
+
+impl TrafficCounters {
+    /// Total bytes that crossed this node's radio, sent plus received.
+    /// This is the quantity reported as "bandwidth used per process".
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Transmission {
+    id: TxId,
+    sender: usize,
+    position: Point,
+    start: SimTime,
+    end: SimTime,
+    payload_bytes: usize,
+    completed: bool,
+}
+
+/// Outcome of a completed transmission at one receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceptionOutcome {
+    /// The frame was received successfully.
+    Received,
+    /// The frame was lost because another audible transmission overlapped.
+    Collided,
+    /// The frame was lost to fringe (statistical) propagation loss.
+    FringeLoss,
+    /// The receiver was itself transmitting (half duplex).
+    SelfBusy,
+}
+
+/// The shared wireless broadcast channel.
+#[derive(Debug)]
+pub struct RadioMedium {
+    config: RadioConfig,
+    transmissions: Vec<Transmission>,
+    counters: Vec<TrafficCounters>,
+    next_tx: u64,
+}
+
+impl RadioMedium {
+    /// Creates a medium for `node_count` nodes sharing one `config`.
+    pub fn new(config: RadioConfig, node_count: usize) -> Self {
+        RadioMedium {
+            config,
+            transmissions: Vec::new(),
+            counters: vec![TrafficCounters::default(); node_count],
+            next_tx: 0,
+        }
+    }
+
+    /// The radio configuration shared by all nodes.
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    /// Number of nodes known to the medium.
+    pub fn node_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Traffic counters of node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn counters(&self, node: usize) -> &TrafficCounters {
+        &self.counters[node]
+    }
+
+    /// Traffic counters of every node, indexed by node id.
+    pub fn all_counters(&self) -> &[TrafficCounters] {
+        &self.counters
+    }
+
+    /// Registers that `sender`, located at `position`, starts transmitting a
+    /// frame of `payload_bytes` at time `now`. Returns the transmission id and
+    /// the time at which the frame ends (when
+    /// [`RadioMedium::complete_transmission`] must be called).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn begin_transmission(
+        &mut self,
+        sender: usize,
+        position: Point,
+        payload_bytes: usize,
+        now: SimTime,
+    ) -> (TxId, SimTime) {
+        assert!(sender < self.counters.len(), "unknown sender {sender}");
+        self.prune(now);
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        let end = now + self.config.air_time(payload_bytes);
+        self.transmissions.push(Transmission {
+            id,
+            sender,
+            position,
+            start: now,
+            end,
+            payload_bytes,
+            completed: false,
+        });
+        let counters = &mut self.counters[sender];
+        counters.frames_sent += 1;
+        counters.bytes_sent += self.config.wire_bytes(payload_bytes);
+        (id, end)
+    }
+
+    /// Completes transmission `tx` and resolves reception at every other node.
+    ///
+    /// `positions[i]` must be the current position of node `i`. Returns, for
+    /// every node within range of the sender (excluding the sender itself), the
+    /// reception outcome. Nodes outside the range are not listed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is unknown or already completed, or if `positions` is
+    /// shorter than the node count.
+    pub fn complete_transmission(
+        &mut self,
+        tx: TxId,
+        positions: &[Point],
+        rng: &mut SimRng,
+    ) -> Vec<(usize, ReceptionOutcome)> {
+        assert!(
+            positions.len() >= self.counters.len(),
+            "positions for every node are required"
+        );
+        let idx = self
+            .transmissions
+            .iter()
+            .position(|t| t.id == tx)
+            .expect("unknown transmission id");
+        assert!(!self.transmissions[idx].completed, "transmission completed twice");
+        self.transmissions[idx].completed = true;
+        let current = self.transmissions[idx].clone();
+
+        let mut outcomes = Vec::new();
+        for (receiver, &rx_pos) in positions.iter().enumerate().take(self.counters.len()) {
+            if receiver == current.sender {
+                continue;
+            }
+            let distance = current.position.distance(rx_pos);
+            if distance > self.config.range_m {
+                continue;
+            }
+            let outcome = self.resolve_reception(&current, receiver, rx_pos, distance, rng);
+            let wire = self.config.wire_bytes(current.payload_bytes);
+            let counters = &mut self.counters[receiver];
+            match outcome {
+                ReceptionOutcome::Received => {
+                    counters.frames_received += 1;
+                    counters.bytes_received += wire;
+                }
+                ReceptionOutcome::Collided | ReceptionOutcome::SelfBusy => {
+                    counters.frames_lost_collision += 1;
+                }
+                ReceptionOutcome::FringeLoss => {
+                    counters.frames_lost_fringe += 1;
+                }
+            }
+            outcomes.push((receiver, outcome));
+        }
+        outcomes
+    }
+
+    fn resolve_reception(
+        &self,
+        current: &Transmission,
+        receiver: usize,
+        rx_pos: Point,
+        distance: f64,
+        rng: &mut SimRng,
+    ) -> ReceptionOutcome {
+        // Half duplex: the receiver was itself on the air during the frame.
+        let self_busy = self.transmissions.iter().any(|t| {
+            t.id != current.id
+                && t.sender == receiver
+                && t.start < current.end
+                && t.end > current.start
+        });
+        if self_busy {
+            return ReceptionOutcome::SelfBusy;
+        }
+        // Collision: another transmission audible at the receiver overlapped.
+        let collided = self.transmissions.iter().any(|t| {
+            t.id != current.id
+                && t.sender != receiver
+                && t.start < current.end
+                && t.end > current.start
+                && t.position.distance(rx_pos) <= self.config.range_m
+        });
+        if collided {
+            return ReceptionOutcome::Collided;
+        }
+        // Fringe loss in the outer part of the disc.
+        let fringe_start = self.config.range_m * self.config.fringe_start_fraction;
+        if distance > fringe_start && rng.chance(self.config.fringe_loss_probability) {
+            return ReceptionOutcome::FringeLoss;
+        }
+        ReceptionOutcome::Received
+    }
+
+    /// Drops completed transmissions that can no longer interfere with frames
+    /// starting at or after `now`.
+    fn prune(&mut self, now: SimTime) {
+        // Keep a generous guard window: nothing on the air lasts longer than the
+        // air time of the largest frame we will ever see (a few ms); 10 s is
+        // far beyond any interference horizon.
+        let horizon = SimDuration::from_secs(10);
+        self.transmissions
+            .retain(|t| !t.completed || t.end + horizon > now);
+    }
+
+    /// Number of transmissions currently tracked (for tests and diagnostics).
+    pub fn tracked_transmissions(&self) -> usize {
+        self.transmissions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(points: &[(f64, f64)]) -> Vec<Point> {
+        points.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    fn ideal_medium(nodes: usize, range: f64) -> RadioMedium {
+        RadioMedium::new(RadioConfig::ideal(range), nodes)
+    }
+
+    #[test]
+    fn in_range_node_receives() {
+        let mut medium = ideal_medium(3, 100.0);
+        let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (500.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx, end) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
+        assert!(end > SimTime::ZERO);
+        let outcomes = medium.complete_transmission(tx, &pos, &mut rng);
+        assert_eq!(outcomes, vec![(1, ReceptionOutcome::Received)]);
+        assert_eq!(medium.counters(1).frames_received, 1);
+        assert_eq!(medium.counters(2).frames_received, 0, "node 2 is out of range");
+        assert_eq!(medium.counters(0).frames_sent, 1);
+        assert_eq!(medium.counters(0).bytes_sent, 400);
+    }
+
+    #[test]
+    fn sender_never_receives_its_own_frame() {
+        let mut medium = ideal_medium(2, 100.0);
+        let pos = positions(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx, _) = medium.begin_transmission(0, pos[0], 100, SimTime::ZERO);
+        let outcomes = medium.complete_transmission(tx, &pos, &mut rng);
+        assert!(outcomes.iter().all(|&(r, _)| r != 0));
+    }
+
+    #[test]
+    fn overlapping_transmissions_collide_at_common_receiver() {
+        let mut medium = ideal_medium(3, 100.0);
+        // Nodes 0 and 2 both in range of node 1; they transmit at the same time.
+        let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx_a, _) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
+        let (tx_b, _) = medium.begin_transmission(2, pos[2], 400, SimTime::ZERO);
+        let outcomes_a = medium.complete_transmission(tx_a, &pos, &mut rng);
+        let outcomes_b = medium.complete_transmission(tx_b, &pos, &mut rng);
+        let at_1_a = outcomes_a.iter().find(|&&(r, _)| r == 1).unwrap().1;
+        let at_1_b = outcomes_b.iter().find(|&&(r, _)| r == 1).unwrap().1;
+        assert_eq!(at_1_a, ReceptionOutcome::Collided);
+        assert_eq!(at_1_b, ReceptionOutcome::Collided);
+        assert_eq!(medium.counters(1).frames_lost_collision, 2);
+        assert_eq!(medium.counters(1).frames_received, 0);
+    }
+
+    #[test]
+    fn hidden_terminal_does_not_collide_at_far_receiver() {
+        // Node 3 only hears node 2; node 0's simultaneous transmission is too far
+        // away to interfere there.
+        let mut medium = ideal_medium(4, 100.0);
+        let pos = positions(&[(0.0, 0.0), (80.0, 0.0), (300.0, 0.0), (380.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx_a, _) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
+        let (tx_b, _) = medium.begin_transmission(2, pos[2], 400, SimTime::ZERO);
+        let _ = medium.complete_transmission(tx_a, &pos, &mut rng);
+        let outcomes_b = medium.complete_transmission(tx_b, &pos, &mut rng);
+        let at_3 = outcomes_b.iter().find(|&&(r, _)| r == 3).unwrap().1;
+        assert_eq!(at_3, ReceptionOutcome::Received);
+    }
+
+    #[test]
+    fn non_overlapping_transmissions_do_not_collide() {
+        let mut medium = ideal_medium(3, 100.0);
+        let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx_a, end_a) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
+        let a = medium.complete_transmission(tx_a, &pos, &mut rng);
+        // Second transmission starts strictly after the first ended.
+        let (tx_b, _) = medium.begin_transmission(2, pos[2], 400, end_a + SimDuration::from_millis(5));
+        let b = medium.complete_transmission(tx_b, &pos, &mut rng);
+        assert!(a.iter().any(|&(r, o)| r == 1 && o == ReceptionOutcome::Received));
+        assert!(b.iter().any(|&(r, o)| r == 1 && o == ReceptionOutcome::Received));
+    }
+
+    #[test]
+    fn receiver_busy_transmitting_misses_frame() {
+        let mut medium = ideal_medium(2, 100.0);
+        let pos = positions(&[(0.0, 0.0), (50.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx_a, _) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
+        let (tx_b, _) = medium.begin_transmission(1, pos[1], 400, SimTime::ZERO);
+        let outcomes_a = medium.complete_transmission(tx_a, &pos, &mut rng);
+        assert_eq!(outcomes_a, vec![(1, ReceptionOutcome::SelfBusy)]);
+        let outcomes_b = medium.complete_transmission(tx_b, &pos, &mut rng);
+        assert_eq!(outcomes_b, vec![(0, ReceptionOutcome::SelfBusy)]);
+    }
+
+    #[test]
+    fn fringe_loss_only_in_outer_ring() {
+        let config = RadioConfig {
+            fringe_loss_probability: 1.0, // always lose in the fringe
+            fringe_start_fraction: 0.8,
+            ..RadioConfig::ideal(100.0)
+        };
+        let mut medium = RadioMedium::new(config, 3);
+        let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (95.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx, _) = medium.begin_transmission(0, pos[0], 100, SimTime::ZERO);
+        let outcomes = medium.complete_transmission(tx, &pos, &mut rng);
+        assert!(outcomes.contains(&(1, ReceptionOutcome::Received)), "inner node unaffected");
+        assert!(outcomes.contains(&(2, ReceptionOutcome::FringeLoss)), "fringe node loses");
+        assert_eq!(medium.counters(2).frames_lost_fringe, 1);
+    }
+
+    #[test]
+    fn byte_accounting_includes_overhead() {
+        let mut medium = RadioMedium::new(RadioConfig::paper_random_waypoint(), 2);
+        let pos = positions(&[(0.0, 0.0), (50.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx, _) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
+        medium.complete_transmission(tx, &pos, &mut rng);
+        assert_eq!(medium.counters(0).bytes_sent, 458);
+        assert_eq!(medium.counters(1).bytes_received, 458);
+        assert_eq!(medium.counters(0).total_bytes(), 458);
+        assert_eq!(medium.counters(1).total_bytes(), 458);
+    }
+
+    #[test]
+    fn pruning_keeps_memory_bounded() {
+        let mut medium = ideal_medium(2, 100.0);
+        let pos = positions(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            let (tx, end) = medium.begin_transmission(0, pos[0], 100, now);
+            medium.complete_transmission(tx, &pos, &mut rng);
+            now = end + SimDuration::from_secs(1);
+        }
+        assert!(
+            medium.tracked_transmissions() < 50,
+            "old transmissions must be pruned, still tracking {}",
+            medium.tracked_transmissions()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn completing_twice_panics() {
+        let mut medium = ideal_medium(2, 100.0);
+        let pos = positions(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx, _) = medium.begin_transmission(0, pos[0], 100, SimTime::ZERO);
+        medium.complete_transmission(tx, &pos, &mut rng);
+        medium.complete_transmission(tx, &pos, &mut rng);
+    }
+
+    #[test]
+    fn exactly_at_range_boundary_is_received() {
+        let mut medium = ideal_medium(2, 100.0);
+        let pos = positions(&[(0.0, 0.0), (100.0, 0.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let (tx, _) = medium.begin_transmission(0, pos[0], 100, SimTime::ZERO);
+        let outcomes = medium.complete_transmission(tx, &pos, &mut rng);
+        assert_eq!(outcomes.len(), 1, "boundary distance counts as in range");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Conservation of traffic: the number of frames received plus frames
+        /// lost across all receivers never exceeds (receivers-in-range) ×
+        /// (frames sent), and every received byte was sent by someone.
+        #[test]
+        fn accounting_is_conservative(seed in any::<u64>(), sends in 1usize..30) {
+            let mut medium = RadioMedium::new(RadioConfig::ideal(150.0), 5);
+            let mut rng = SimRng::seed_from(seed);
+            let mut scatter = SimRng::seed_from(seed ^ 0xDEAD);
+            let pos: Vec<Point> = (0..5)
+                .map(|_| Point::new(scatter.uniform_f64(0.0, 300.0), scatter.uniform_f64(0.0, 300.0)))
+                .collect();
+            let mut now = SimTime::ZERO;
+            for i in 0..sends {
+                let sender = i % 5;
+                let (tx, end) = medium.begin_transmission(sender, pos[sender], 200, now);
+                medium.complete_transmission(tx, &pos, &mut rng);
+                now = end + SimDuration::from_millis(scatter.uniform_u64(0, 50));
+            }
+            let total_sent: u64 = medium.all_counters().iter().map(|c| c.frames_sent).sum();
+            let total_outcomes: u64 = medium
+                .all_counters()
+                .iter()
+                .map(|c| c.frames_received + c.frames_lost_collision + c.frames_lost_fringe)
+                .sum();
+            prop_assert_eq!(total_sent, sends as u64);
+            // Each frame can produce at most (node_count - 1) receiver outcomes.
+            prop_assert!(total_outcomes <= total_sent * 4);
+            let bytes_sent: u64 = medium.all_counters().iter().map(|c| c.bytes_sent).sum();
+            let bytes_received: u64 = medium.all_counters().iter().map(|c| c.bytes_received).sum();
+            prop_assert!(bytes_received <= bytes_sent * 4);
+        }
+    }
+}

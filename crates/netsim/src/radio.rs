@@ -1,0 +1,238 @@
+//! Radio configuration: bit rates, ranges and frame air time.
+//!
+//! [`RadioConfig`] captures the 802.11b parameters the paper feeds to QualNet:
+//! transmission power, per-rate reception sensitivity, carrier frequency and
+//! antenna efficiency — and exposes the two quantities the simulator actually
+//! needs: the **communication range** (how far a broadcast frame reaches) and
+//! the **air time** of a frame of a given size (how long it occupies the
+//! channel, which drives collisions).
+
+use crate::propagation::two_ray_range_m;
+use serde::{Deserialize, Serialize};
+use simkit::SimDuration;
+
+/// 802.11b transmission rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitRate {
+    /// 1 Mbps (DBPSK), the most robust and longest-range rate — the rate used
+    /// for broadcast frames in the open-area (random waypoint) reproduction.
+    Mbps1,
+    /// 2 Mbps (DQPSK).
+    Mbps2,
+    /// 6 Mbps.
+    Mbps6,
+    /// 11 Mbps (CCK), the fastest and shortest-range rate.
+    Mbps11,
+}
+
+impl BitRate {
+    /// All rates, slowest first.
+    pub const ALL: [BitRate; 4] = [BitRate::Mbps1, BitRate::Mbps2, BitRate::Mbps6, BitRate::Mbps11];
+
+    /// The rate in bits per second.
+    pub fn bits_per_second(self) -> f64 {
+        match self {
+            BitRate::Mbps1 => 1_000_000.0,
+            BitRate::Mbps2 => 2_000_000.0,
+            BitRate::Mbps6 => 6_000_000.0,
+            BitRate::Mbps11 => 11_000_000.0,
+        }
+    }
+
+    /// The reception sensitivity the paper configures for this rate in the
+    /// random-waypoint scenario (−93/−89/−87/−83 dBm).
+    pub fn paper_sensitivity_dbm(self) -> f64 {
+        match self {
+            BitRate::Mbps1 => -93.0,
+            BitRate::Mbps2 => -89.0,
+            BitRate::Mbps6 => -87.0,
+            BitRate::Mbps11 => -83.0,
+        }
+    }
+
+    /// The radio range the paper reports for this rate in the random-waypoint
+    /// scenario (442/339/321/273 m).
+    pub fn paper_range_m(self) -> f64 {
+        match self {
+            BitRate::Mbps1 => 442.0,
+            BitRate::Mbps2 => 339.0,
+            BitRate::Mbps6 => 321.0,
+            BitRate::Mbps11 => 273.0,
+        }
+    }
+}
+
+/// Physical-layer configuration of every radio in a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Transmission rate used for broadcast frames.
+    pub bit_rate: BitRate,
+    /// Communication range in meters: a broadcast frame can be received by any
+    /// node within this distance of the sender.
+    pub range_m: f64,
+    /// Per-frame fixed MAC/PHY overhead added to the payload (preamble, PLCP
+    /// header, MAC header), in bytes.
+    pub overhead_bytes: usize,
+    /// Probability that a frame is lost at a receiver *in the outer fringe* of
+    /// the range (beyond [`RadioConfig::fringe_start_fraction`] of the range),
+    /// modelling the statistical propagation of the paper's setup.
+    pub fringe_loss_probability: f64,
+    /// Fraction of the range after which fringe loss applies (e.g. 0.85 means
+    /// the last 15 % of the disc is lossy).
+    pub fringe_start_fraction: f64,
+    /// Maximum random MAC contention jitter applied before a broadcast, used to
+    /// de-synchronize nodes that decide to transmit simultaneously.
+    pub max_contention_jitter: SimDuration,
+}
+
+impl RadioConfig {
+    /// The radio used in the paper's random-waypoint experiments: 2.4 GHz
+    /// 802.11b at 15 dB transmit power. Broadcast frames go out at the most
+    /// robust rate (1 Mbps, as 802.11 broadcast/management traffic does),
+    /// giving the 442 m range reported in the paper.
+    pub fn paper_random_waypoint() -> Self {
+        RadioConfig {
+            bit_rate: BitRate::Mbps1,
+            range_m: BitRate::Mbps1.paper_range_m(),
+            overhead_bytes: 58, // PLCP preamble+header (24) + 802.11 MAC header+FCS (34)
+            fringe_loss_probability: 0.3,
+            fringe_start_fraction: 0.85,
+            max_contention_jitter: SimDuration::from_millis(20),
+        }
+    }
+
+    /// The radio used in the paper's city-section experiments: same MAC but a
+    /// reception sensitivity of −65 dBm for all rates, giving a 44 m range
+    /// ("the real radio range of a city").
+    pub fn paper_city_section() -> Self {
+        RadioConfig {
+            bit_rate: BitRate::Mbps2,
+            range_m: 44.0,
+            overhead_bytes: 58,
+            fringe_loss_probability: 0.3,
+            fringe_start_fraction: 0.85,
+            max_contention_jitter: SimDuration::from_millis(20),
+        }
+    }
+
+    /// Builds a configuration whose range is *derived* from the physical link
+    /// budget (15 dB transmit power, per-rate sensitivity, 2.4 GHz, antenna
+    /// efficiency 0.8, 1.5 m antennas, two-ray model) instead of using the
+    /// paper's reported radii. Useful to validate that the reported radii are
+    /// consistent with the physics (see tests).
+    pub fn derived_from_link_budget(bit_rate: BitRate) -> Self {
+        let range = two_ray_range_m(
+            15.0,
+            bit_rate.paper_sensitivity_dbm(),
+            2.4e9,
+            0.8,
+            1.5,
+            1.5,
+        );
+        RadioConfig {
+            bit_rate,
+            range_m: range,
+            overhead_bytes: 58,
+            fringe_loss_probability: 0.3,
+            fringe_start_fraction: 0.85,
+            max_contention_jitter: SimDuration::from_millis(20),
+        }
+    }
+
+    /// A lossless, collision-friendly configuration for unit tests: fixed range,
+    /// no fringe loss, no jitter.
+    pub fn ideal(range_m: f64) -> Self {
+        RadioConfig {
+            bit_rate: BitRate::Mbps2,
+            range_m,
+            overhead_bytes: 0,
+            fringe_loss_probability: 0.0,
+            fringe_start_fraction: 1.0,
+            max_contention_jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Time a frame of `payload_bytes` occupies the air, including the
+    /// per-frame overhead, at this radio's bit rate. Always at least 1 ms (the
+    /// simulator's clock resolution).
+    pub fn air_time(&self, payload_bytes: usize) -> SimDuration {
+        let bits = ((payload_bytes + self.overhead_bytes) * 8) as f64;
+        let secs = bits / self.bit_rate.bits_per_second();
+        SimDuration::from_millis((secs * 1000.0).ceil().max(1.0) as u64)
+    }
+
+    /// Total bytes put on the air for a payload of `payload_bytes` (payload +
+    /// per-frame overhead). This is what bandwidth accounting charges.
+    pub fn wire_bytes(&self, payload_bytes: usize) -> u64 {
+        (payload_bytes + self.overhead_bytes) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ranges_are_exposed() {
+        assert_eq!(BitRate::Mbps1.paper_range_m(), 442.0);
+        assert_eq!(BitRate::Mbps11.paper_range_m(), 273.0);
+        assert_eq!(RadioConfig::paper_random_waypoint().range_m, 442.0);
+        assert_eq!(RadioConfig::paper_city_section().range_m, 44.0);
+    }
+
+    #[test]
+    fn derived_ranges_are_in_the_paper_ballpark() {
+        // The paper reports 442/339/321/273 m for the four rates. Our two-ray
+        // link budget should land in the same order of magnitude and preserve
+        // the ordering (more sensitive rate => longer range). We accept a loose
+        // tolerance because QualNet's statistical model differs in detail.
+        let mut last = f64::INFINITY;
+        for rate in BitRate::ALL {
+            let derived = RadioConfig::derived_from_link_budget(rate).range_m;
+            let reported = rate.paper_range_m();
+            assert!(
+                derived > reported * 0.4 && derived < reported * 2.5,
+                "derived range {derived:.0} m too far from paper's {reported} m for {rate:?}"
+            );
+            assert!(derived <= last, "ranges must shrink as rates increase");
+            last = derived;
+        }
+    }
+
+    #[test]
+    fn air_time_scales_with_size_and_rate() {
+        let cfg = RadioConfig::paper_random_waypoint();
+        let small = cfg.air_time(50);
+        let large = cfg.air_time(1600);
+        assert!(large > small);
+        // 400-byte event + 58 bytes overhead at 2 Mbps ≈ 1.8 ms.
+        let event = cfg.air_time(400);
+        assert!(event >= SimDuration::from_millis(1) && event <= SimDuration::from_millis(4),
+            "unexpected air time {event}");
+        let fast = RadioConfig {
+            bit_rate: BitRate::Mbps11,
+            ..cfg.clone()
+        };
+        assert!(fast.air_time(1600) < cfg.air_time(1600));
+    }
+
+    #[test]
+    fn air_time_never_zero() {
+        let cfg = RadioConfig::ideal(100.0);
+        assert_eq!(cfg.air_time(0), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn wire_bytes_include_overhead() {
+        let cfg = RadioConfig::paper_random_waypoint();
+        assert_eq!(cfg.wire_bytes(400), 458);
+        assert_eq!(RadioConfig::ideal(10.0).wire_bytes(400), 400);
+    }
+
+    #[test]
+    fn bit_rates_expose_bps() {
+        assert_eq!(BitRate::Mbps1.bits_per_second(), 1e6);
+        assert_eq!(BitRate::Mbps11.bits_per_second(), 11e6);
+        assert_eq!(BitRate::ALL.len(), 4);
+    }
+}

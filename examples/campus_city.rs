@@ -1,0 +1,50 @@
+//! City-section walk-through: how the heartbeat period and the validity period
+//! drive reliability when 15 cars drive around a campus.
+//!
+//! This reproduces (at reduced seed count) the experiments behind the paper's
+//! Figures 13 and 16 and prints the resulting tables. Pass `--paper` to use the
+//! full 30-seed, 15-publisher methodology (slow).
+//!
+//! Run with: `cargo run --release --example campus_city [-- --paper]`
+
+use manet_sim::experiments::city::{fig13, fig16, CityConfig};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let config = if paper_scale {
+        println!("Running the full paper methodology (30 seeds x 15 publishers) — this takes a while.\n");
+        CityConfig::paper()
+    } else {
+        println!("Running the reduced smoke-test configuration (pass --paper for the full sweep).\n");
+        CityConfig::quick()
+    };
+
+    println!(
+        "Street network: 1200 m x 900 m campus grid, {} cars at 8-13 m/s, radio range 44 m.\n",
+        config.node_count
+    );
+
+    match fig13(&config) {
+        Ok(table) => {
+            println!("{}", table.to_markdown());
+            println!(
+                "The paper reports 76.9% / 75.1% / 65.5% / 69.9% / 54.0% for bounds of 1-5 s:\n\
+                 reliability degrades as heartbeats become sparser, because neighbors are\n\
+                 detected too late to hand events over before the cars drive apart.\n"
+            );
+        }
+        Err(err) => eprintln!("fig13 failed: {err}"),
+    }
+
+    match fig16(&config) {
+        Ok(table) => {
+            println!("{}", table.to_markdown());
+            println!(
+                "The paper reports 11% -> 77% as the validity grows from 25 s to 150 s: in the\n\
+                 city model the processes meet at a few popular spots, so an event needs to stay\n\
+                 valid long enough to survive until those encounters happen."
+            );
+        }
+        Err(err) => eprintln!("fig16 failed: {err}"),
+    }
+}

@@ -1,0 +1,65 @@
+//! Frugality face-off: the frugal protocol against the three flooding variants.
+//!
+//! Runs the comparison behind the paper's Figures 17–20 at smoke-test scale and
+//! prints the four tables (bandwidth, events sent, duplicates, parasites) plus
+//! the headline ratios. Pass `--paper` for the full 150-node, 30-seed sweep.
+//!
+//! Run with: `cargo run --release --example frugality_faceoff [-- --paper]`
+
+use manet_sim::experiments::frugality::{run, FrugalityConfig};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let config = if paper_scale {
+        println!("Running the full paper sweep (150 nodes, 30 seeds) — this takes a while.\n");
+        FrugalityConfig::paper()
+    } else {
+        println!("Running the reduced smoke-test sweep (pass --paper for the full one).\n");
+        FrugalityConfig::quick()
+    };
+
+    let tables = match run(&config) {
+        Ok(tables) => tables,
+        Err(err) => {
+            eprintln!("frugality comparison failed: {err}");
+            return;
+        }
+    };
+
+    println!("{}", tables.bandwidth_kb.to_markdown());
+    println!("{}", tables.events_sent.to_markdown());
+    println!("{}", tables.duplicates.to_markdown());
+    println!("{}", tables.parasites.to_markdown());
+
+    // Headline ratios on the densest row of the sweep.
+    if let Some((label, _)) = tables.events_sent.rows().last().cloned() {
+        let frugal_sent = tables.events_sent.value(&label, "frugal").unwrap_or(0.0);
+        let flood_sent = tables
+            .events_sent
+            .value(&label, "simple-flooding")
+            .unwrap_or(0.0);
+        let frugal_dup = tables.duplicates.value(&label, "frugal").unwrap_or(0.0);
+        let flood_dup = tables
+            .duplicates
+            .value(&label, "interests-aware-flooding")
+            .unwrap_or(0.0);
+        let frugal_bw = tables.bandwidth_kb.value(&label, "frugal").unwrap_or(0.0);
+        let flood_bw = tables
+            .bandwidth_kb
+            .value(&label, "simple-flooding")
+            .unwrap_or(0.0);
+        println!("Headline ratios on the \"{label}\" configuration:");
+        println!(
+            "  events sent:  flooding / frugal = {:.0}x   (paper: 50-100x)",
+            flood_sent / frugal_sent.max(1e-9)
+        );
+        println!(
+            "  duplicates:   best flooding / frugal = {:.0}x (paper: 50-80x vs interests-aware)",
+            flood_dup / frugal_dup.max(1.0)
+        );
+        println!(
+            "  bandwidth:    simple flooding / frugal = {:.1}x (paper: 3x-4.5x)",
+            flood_bw / frugal_bw.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: the frugal protocol against the three
+//! flooding baselines on identical scenarios (same seeds, same mobility).
+
+use frugal::{FloodingPolicy, ProtocolConfig};
+use manet_sim::{
+    run_scenario, MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder,
+    SeedPlan, World,
+};
+use mobility::Area;
+use netsim::RadioConfig;
+use simkit::{SimDuration, SimTime};
+
+fn scenario(protocol: ProtocolKind, events: usize) -> manet_sim::Scenario {
+    let publications = (0..events)
+        .map(|i| Publication {
+            publisher: PublisherChoice::RandomSubscriber,
+            topic: ".news.local".parse().unwrap(),
+            at: SimTime::from_secs(6 + i as u64),
+            validity: SimDuration::from_secs(54),
+            payload_bytes: 400,
+        })
+        .collect();
+    ScenarioBuilder::new()
+        .label("baseline-comparison")
+        .protocol(protocol)
+        .nodes(18)
+        .subscriber_fraction(0.6)
+        .mobility(MobilityKind::RandomWaypoint {
+            area: Area::square(600.0),
+            speed_min: 10.0,
+            speed_max: 10.0,
+            pause: SimDuration::from_secs(1),
+        })
+        .radio(RadioConfig::paper_random_waypoint())
+        .timing(SimDuration::from_secs(5), SimDuration::from_secs(65))
+        .publications(publications)
+        .build()
+        .unwrap()
+}
+
+fn all_protocols() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+        ProtocolKind::Flooding(FloodingPolicy::Simple),
+        ProtocolKind::Flooding(FloodingPolicy::InterestAware),
+        ProtocolKind::Flooding(FloodingPolicy::NeighborInterest),
+    ]
+}
+
+#[test]
+fn every_protocol_achieves_reasonable_reliability_in_a_dense_network() {
+    for protocol in all_protocols() {
+        let name = protocol.name();
+        let report = World::new(scenario(protocol, 2), 1).unwrap().run();
+        assert!(
+            report.reliability() > 0.6,
+            "{name} should reach most subscribers in a dense 600 m network, got {}",
+            report.reliability()
+        );
+    }
+}
+
+#[test]
+fn frugal_sends_fewest_events() {
+    let plan = SeedPlan::new(1, 2);
+    let mut events_sent = Vec::new();
+    for protocol in all_protocols() {
+        let name = protocol.name();
+        let point = run_scenario(&scenario(protocol, 3), plan).unwrap();
+        events_sent.push((name, point.events_sent().mean));
+    }
+    let frugal = events_sent
+        .iter()
+        .find(|(name, _)| *name == "frugal")
+        .unwrap()
+        .1;
+    for (name, sent) in &events_sent {
+        if *name != "frugal" {
+            assert!(
+                *sent > frugal,
+                "{name} must send more events than frugal ({sent} vs {frugal})"
+            );
+        }
+    }
+    // Simple flooding is the most wasteful of all.
+    let simple = events_sent
+        .iter()
+        .find(|(name, _)| *name == "simple-flooding")
+        .unwrap()
+        .1;
+    assert!(
+        simple >= frugal * 10.0,
+        "simple flooding should be an order of magnitude above frugal ({simple} vs {frugal})"
+    );
+}
+
+#[test]
+fn frugal_produces_fewest_duplicates_and_parasites() {
+    let plan = SeedPlan::new(3, 2);
+    let frugal_point = run_scenario(
+        &scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()), 3),
+        plan,
+    )
+    .unwrap();
+    let flooding_point = run_scenario(
+        &scenario(ProtocolKind::Flooding(FloodingPolicy::Simple), 3),
+        plan,
+    )
+    .unwrap();
+    let interests_point = run_scenario(
+        &scenario(ProtocolKind::Flooding(FloodingPolicy::InterestAware), 3),
+        plan,
+    )
+    .unwrap();
+
+    assert!(
+        frugal_point.duplicates().mean < flooding_point.duplicates().mean,
+        "frugal ({}) must beat simple flooding ({}) on duplicates",
+        frugal_point.duplicates().mean,
+        flooding_point.duplicates().mean
+    );
+    assert!(
+        frugal_point.duplicates().mean < interests_point.duplicates().mean,
+        "frugal ({}) must beat interests-aware flooding ({}) on duplicates",
+        frugal_point.duplicates().mean,
+        interests_point.duplicates().mean
+    );
+    assert!(
+        frugal_point.parasites().mean <= flooding_point.parasites().mean,
+        "frugal ({}) must not produce more parasites than simple flooding ({})",
+        frugal_point.parasites().mean,
+        flooding_point.parasites().mean
+    );
+}
+
+#[test]
+fn interests_aware_flooding_beats_simple_flooding_on_parasites() {
+    // The paper's ordering between the baselines themselves: filtering on the
+    // receiver's own interests already prunes a lot of parasite forwarding.
+    let plan = SeedPlan::new(5, 2);
+    let simple = run_scenario(
+        &scenario(ProtocolKind::Flooding(FloodingPolicy::Simple), 3),
+        plan,
+    )
+    .unwrap();
+    let interests = run_scenario(
+        &scenario(ProtocolKind::Flooding(FloodingPolicy::InterestAware), 3),
+        plan,
+    )
+    .unwrap();
+    assert!(
+        interests.events_sent().mean <= simple.events_sent().mean,
+        "interests-aware flooding must not send more than simple flooding ({} vs {})",
+        interests.events_sent().mean,
+        simple.events_sent().mean
+    );
+}
+
+#[test]
+fn bandwidth_ordering_matches_the_paper() {
+    // Fig. 17: frugal uses less bandwidth than both plotted flooding variants
+    // once a handful of events circulate.
+    let plan = SeedPlan::new(7, 2);
+    let frugal = run_scenario(
+        &scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()), 5),
+        plan,
+    )
+    .unwrap();
+    let simple = run_scenario(
+        &scenario(ProtocolKind::Flooding(FloodingPolicy::Simple), 5),
+        plan,
+    )
+    .unwrap();
+    let interests = run_scenario(
+        &scenario(ProtocolKind::Flooding(FloodingPolicy::InterestAware), 5),
+        plan,
+    )
+    .unwrap();
+    assert!(
+        frugal.bandwidth_kb().mean < simple.bandwidth_kb().mean,
+        "frugal ({:.1} kB) must use less bandwidth than simple flooding ({:.1} kB)",
+        frugal.bandwidth_kb().mean,
+        simple.bandwidth_kb().mean
+    );
+    assert!(
+        frugal.bandwidth_kb().mean < interests.bandwidth_kb().mean,
+        "frugal ({:.1} kB) must use less bandwidth than interests-aware flooding ({:.1} kB)",
+        frugal.bandwidth_kb().mean,
+        interests.bandwidth_kb().mean
+    );
+}

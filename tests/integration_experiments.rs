@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the experiment harness regenerating the
+//! paper's figures (at smoke-test scale) produces well-formed tables with the
+//! paper's qualitative trends.
+
+use manet_sim::experiments::{ablation, city, fig11, fig12, frugality};
+use manet_sim::SeedPlan;
+use simkit::SimDuration;
+
+#[test]
+fn fig11_quick_sweep_has_the_expected_shape() {
+    let mut config = fig11::Fig11Config::quick();
+    config.speeds = vec![0.0, 10.0];
+    config.validities = vec![SimDuration::from_secs(30), SimDuration::from_secs(90)];
+    config.seeds = SeedPlan::new(1, 2);
+    let tables = fig11::run(&config).unwrap();
+    assert_eq!(tables.len(), 1, "one table per subscriber fraction");
+    let table = &tables[0];
+    assert_eq!(table.rows().len(), 2, "one row per speed");
+    assert_eq!(table.columns().len(), 2, "one column per validity");
+    for (_, values) in table.rows() {
+        for value in values {
+            assert!((0.0..=1.0).contains(value), "reliability must be a probability");
+        }
+    }
+}
+
+#[test]
+fn fig11_mobility_helps_a_sparse_network() {
+    // The paper's key qualitative point: static nodes in a sparse network
+    // cannot spread the event far, mobility carries it around.
+    let mut config = fig11::Fig11Config::quick();
+    config.speeds = vec![0.0, 20.0];
+    config.validities = vec![SimDuration::from_secs(90)];
+    config.subscriber_fractions = vec![0.8];
+    config.seeds = SeedPlan::new(11, 3);
+    let tables = fig11::run(&config).unwrap();
+    let static_r = tables[0].value("0", "validity 90s").unwrap();
+    let mobile_r = tables[0].value("20", "validity 90s").unwrap();
+    assert!(
+        mobile_r >= static_r,
+        "mobility must not hurt dissemination (static={static_r}, mobile={mobile_r})"
+    );
+}
+
+#[test]
+fn fig12_quick_sweep_produces_a_full_grid() {
+    let mut config = fig12::Fig12Config::quick();
+    config.validities = vec![SimDuration::from_secs(60)];
+    config.subscriber_fractions = vec![0.2, 1.0];
+    config.seeds = SeedPlan::new(1, 2);
+    let table = fig12::run(&config).unwrap();
+    assert_eq!(table.rows().len(), 1);
+    assert_eq!(table.columns().len(), 2);
+    assert!(table.value("60", "20% subscribers").is_some());
+    assert!(table.value("60", "100% subscribers").is_some());
+}
+
+#[test]
+fn city_figures_are_generated_with_consistent_rows() {
+    let mut config = city::CityConfig::quick();
+    config.publishers = vec![0, 7];
+    config.seeds = SeedPlan::new(1, 1);
+    config.hb_upper_bounds = vec![SimDuration::from_secs(1), SimDuration::from_secs(5)];
+    config.subscriber_fractions = vec![0.6, 1.0];
+    config.validities = vec![SimDuration::from_secs(30), SimDuration::from_secs(120)];
+    config.default_validity = SimDuration::from_secs(90);
+
+    let f13 = city::fig13(&config).unwrap();
+    assert_eq!(f13.rows().len(), 2);
+
+    let (f14, f15) = city::fig14_15(&config).unwrap();
+    assert_eq!(f14.rows().len(), 2);
+    assert_eq!(f15.rows().len(), 2);
+    // Spread is a difference of reliabilities, also within [0, 1].
+    for (_, values) in f15.rows() {
+        assert!((0.0..=1.0).contains(&values[0]));
+    }
+
+    let f16 = city::fig16(&config).unwrap();
+    assert_eq!(f16.rows().len(), 2);
+}
+
+#[test]
+fn frugality_tables_show_the_headline_orderings() {
+    let config = frugality::FrugalityConfig {
+        subscriber_fractions: vec![0.6],
+        event_counts: vec![4],
+        protocols: frugality::FrugalityConfig::all_protocols(),
+        seeds: SeedPlan::new(1, 2),
+        effort: manet_sim::experiments::Effort::Quick,
+        measurement: SimDuration::from_secs(45),
+    };
+    let tables = frugality::run(&config).unwrap();
+    let row = "4 events / 60%";
+
+    let frugal_sent = tables.events_sent.value(row, "frugal").unwrap();
+    let simple_sent = tables.events_sent.value(row, "simple-flooding").unwrap();
+    assert!(
+        simple_sent > frugal_sent * 5.0,
+        "fig 18 ordering: flooding sends far more events ({simple_sent} vs {frugal_sent})"
+    );
+
+    let frugal_dup = tables.duplicates.value(row, "frugal").unwrap();
+    let interests_dup = tables
+        .duplicates
+        .value(row, "interests-aware-flooding")
+        .unwrap();
+    assert!(
+        interests_dup > frugal_dup,
+        "fig 19 ordering: even the best flooding variant causes more duplicates ({interests_dup} vs {frugal_dup})"
+    );
+
+    let frugal_bw = tables.bandwidth_kb.value(row, "frugal").unwrap();
+    let simple_bw = tables.bandwidth_kb.value(row, "simple-flooding").unwrap();
+    assert!(
+        simple_bw > frugal_bw,
+        "fig 17 ordering: flooding consumes more bandwidth ({simple_bw} vs {frugal_bw})"
+    );
+
+    let frugal_par = tables.parasites.value(row, "frugal").unwrap();
+    let simple_par = tables.parasites.value(row, "simple-flooding").unwrap();
+    assert!(
+        simple_par >= frugal_par,
+        "fig 20 ordering: flooding delivers at least as many parasites ({simple_par} vs {frugal_par})"
+    );
+}
+
+#[test]
+fn ablation_study_runs_and_ranks_variants() {
+    let mut config = ablation::AblationConfig::quick();
+    config.seeds = SeedPlan::new(1, 2);
+    config.validity = SimDuration::from_secs(40);
+    let table = ablation::run(&config).unwrap();
+    assert_eq!(table.rows().len(), config.variants.len());
+    for (_, values) in table.rows() {
+        assert!((0.0..=1.0).contains(&values[0]), "reliability column");
+        assert!(values[1] > 0.0, "bandwidth column must be positive");
+    }
+}
