@@ -90,9 +90,9 @@ pub fn run_scenario_reports(
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; seeds.len()]);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= seeds.len() {
                     break;
@@ -104,8 +104,7 @@ pub fn run_scenario_reports(
                 results.lock()[index] = Some(report);
             });
         }
-    })
-    .expect("simulation worker panicked");
+    });
 
     Ok(results
         .into_inner()

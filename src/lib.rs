@@ -1,0 +1,25 @@
+//! # frugal-repro — workspace facade
+//!
+//! Re-exports the seven crates of the reproduction of *"Frugal Event
+//! Dissemination in a Mobile Environment"* (Baehni, Chhabra, Guerraoui —
+//! Middleware 2005) so the top-level integration tests and examples have a
+//! single anchor package:
+//!
+//! * [`simkit`] — discrete-event simulation kernel (time, scheduler, RNG, stats);
+//! * [`pubsub`] — topics, events, subscriptions;
+//! * [`frugal`] — the paper's dissemination protocol and the flooding baselines;
+//! * [`mobility`] — random-waypoint and city-section mobility models;
+//! * [`netsim`] — broadcast radio medium and propagation;
+//! * [`manet_sim`] — scenario runner and per-figure experiments;
+//! * [`bench`](mod@bench) — benchmark harness and figure-reproduction binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ::bench;
+pub use frugal;
+pub use manet_sim;
+pub use mobility;
+pub use netsim;
+pub use pubsub;
+pub use simkit;

@@ -1,0 +1,233 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`Strategy`] with [`Strategy::prop_map`],
+//! * range strategies (`0u8..5`, `-1e6f64..1e6`, …), [`any`],
+//!   [`collection::vec`], [`option::of`], tuple strategies, string-pattern
+//!   strategies (`"[a-z]{1,3}"`), and [`prop_oneof!`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from the real `proptest`: no shrinking and no counterexample
+//! echo (a failing case panics with the assertion message only, but
+//! generation is deterministic — seeded from the test name, perturbable with
+//! `PROPTEST_SHIM_SEED` — so rerunning reproduces the failure exactly), and
+//! string strategies support only the `[class]{m,n}`-style patterns the
+//! workspace uses rather than full regex syntax.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig,
+    };
+}
+
+/// The RNG handed to strategies while generating a test case.
+pub type TestRng = StdRng;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the heavier protocol fuzzers
+        // fast enough for every `cargo test` run while still exploring
+        // thousands of states across the suite.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the deterministic RNG for one property test.
+///
+/// Seeded from a hash of the test name so distinct tests explore distinct
+/// streams; set `PROPTEST_SHIM_SEED` to perturb all tests at once.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let base: u64 = std::env::var("PROPTEST_SHIM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED_CAFE);
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+    for byte in test_name.bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0100_0000_01B3);
+        h ^= h >> 29;
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: uniform in a wide symmetric range.
+        rng.gen_range(-1e9f64..1e9)
+    }
+}
+
+/// A strategy producing arbitrary values of `T`, mirroring `proptest::any`.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Asserts a property inside [`proptest!`]; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside [`proptest!`]; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside [`proptest!`]; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Chooses uniformly among several strategies with the same value type,
+/// mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
+/// samples the strategies `config.cases` times and runs the body. A failing
+/// assertion panics; inputs are not shrunk, but generation is deterministic,
+/// so rerunning the test reproduces the failure exactly.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                // Build the strategies once; tuples of strategies are
+                // themselves a strategy, sampled left to right each case.
+                let __strategies = ($($strategy,)+);
+                for case in 0..config.cases {
+                    let ($($arg,)+) = $crate::Strategy::sample(&__strategies, &mut rng);
+                    let _ = case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps(x in 1u8..5, y in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!(y % 2 == 0 && y < 20);
+        }
+
+        #[test]
+        fn vec_tuple_option_oneof(
+            items in crate::collection::vec((0u8..3, "[a-b]{1,2}"), 0..5),
+            maybe in crate::option::of(0u64..9),
+            pick in prop_oneof![(0u8..1).prop_map(|_| 10u8), (0u8..1).prop_map(|_| 20u8)],
+        ) {
+            prop_assert!(items.len() < 5);
+            for (n, s) in &items {
+                prop_assert!(*n < 3);
+                prop_assert!(!s.is_empty() && s.len() <= 2);
+                prop_assert!(s.bytes().all(|b| (b'a'..=b'b').contains(&b)));
+            }
+            if let Some(v) = maybe {
+                prop_assert!(v < 9);
+            }
+            prop_assert!(pick == 10u8 || pick == 20u8);
+        }
+
+        #[test]
+        fn any_values(seed in any::<u64>(), flag in any::<bool>()) {
+            let _ = (seed, flag);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use rand::RngCore;
+        let a = crate::test_rng("x").next_u64();
+        let b = crate::test_rng("x").next_u64();
+        let c = crate::test_rng("y").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

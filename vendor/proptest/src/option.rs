@@ -1,0 +1,29 @@
+//! `Option` strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// Generates `Some` values from `inner` most of the time and `None` otherwise,
+/// mirroring `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Match upstream's default: None with probability 1/4.
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}

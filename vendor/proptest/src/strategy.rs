@@ -1,0 +1,326 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::{Arbitrary, TestRng};
+use rand::Rng;
+
+/// A recipe for generating random values, mirroring
+/// `proptest::strategy::Strategy` (without shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring `prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Generating through a shared reference, so strategies can be reused.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`crate::any`].
+pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`crate::prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! requires at least one strategy");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let index = rng.gen_range(0..self.options.len());
+        self.options[index].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String-pattern strategies: `&str` generates strings matching a small
+/// regex subset — literals, character classes like `[a-z0-9]`, and the
+/// quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded repetition capped at
+/// 8). This covers the patterns used by the workspace's tests
+/// (e.g. `"[a-z]{1,3}"`); anything else panics with a clear message.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    const UNBOUNDED_CAP: usize = 8;
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                assert!(
+                    chars.get(i + 1) != Some(&'^'),
+                    "negated character classes are not supported by the proptest shim (pattern {pattern:?})"
+                );
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in pattern {pattern:?}");
+                let escaped = chars[i + 1];
+                assert!(
+                    !escaped.is_ascii_alphanumeric(),
+                    "escape class \\{escaped} is not supported by the proptest shim (pattern {pattern:?}); only escaped metacharacters like \\. are"
+                );
+                i += 2;
+                vec![escaped]
+            }
+            ']' | '{' | '}' | '?' | '*' | '+' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {:?} in pattern {pattern:?} (shim supports literals, [classes] and {{m,n}}/?/*/+ quantifiers)", chars[i])
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+
+        // Optional quantifier after the atom.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo: usize = lo.trim().parse().expect("bad {m,n} lower bound");
+                            let hi: usize = hi.trim().parse().expect("bad {m,n} upper bound");
+                            assert!(lo <= hi, "bad quantifier in pattern {pattern:?}");
+                            (lo, hi)
+                        }
+                        None => {
+                            let n: usize = body.trim().parse().expect("bad {m} count");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, UNBOUNDED_CAP)
+                }
+                '+' => {
+                    i += 1;
+                    (1, UNBOUNDED_CAP)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn pattern_class_and_counts() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[a-c]{1,2}", &mut rng);
+            assert!((1..=2).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| (b'a'..=b'c').contains(&b)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_literals_and_quantifiers() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = sample_pattern("ab?c[0-9]{2}", &mut rng);
+            assert!(s.starts_with('a'), "{s:?}");
+            assert!(s.ends_with(|c: char| c.is_ascii_digit()), "{s:?}");
+            assert!(s.len() == 4 || s.len() == 5, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negated character classes")]
+    fn pattern_rejects_negated_class() {
+        sample_pattern("[^a]{3}", &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "escape class")]
+    fn pattern_rejects_escape_classes() {
+        sample_pattern(r"\d+", &mut rng());
+    }
+
+    #[test]
+    fn pattern_allows_escaped_metacharacters() {
+        assert_eq!(sample_pattern(r"\.\[", &mut rng()), ".[");
+    }
+
+    #[test]
+    fn union_samples_every_arm() {
+        let mut rng = rng();
+        let union = Union::new(vec![
+            Box::new(Just(1u8)) as Box<dyn Strategy<Value = u8>>,
+            Box::new(Just(2u8)),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[union.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

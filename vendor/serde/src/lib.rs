@@ -1,0 +1,22 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no crates.io access. The workspace only uses
+//! serde through `#[derive(Serialize, Deserialize)]` annotations (no code
+//! serializes anything yet), so this shim provides marker traits with blanket
+//! impls plus no-op derive macros. Swapping in the real `serde` later only
+//! requires changing the path dependency — the annotations are already
+//! upstream-compatible.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
