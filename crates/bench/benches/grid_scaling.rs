@@ -1,0 +1,90 @@
+//! Scaling of reception resolution: spatial grid vs. brute-force scan.
+//!
+//! Builds media of 200/500/1000 nodes at a fixed neighbor density (~10 nodes
+//! within radio range of any sender) and measures one round of
+//! `begin_transmission` + `complete_transmission` for a burst of senders. The
+//! grid path visits only the sender's 3×3 cell neighborhood, so its per-frame
+//! cost tracks the (constant) neighbor count; the brute-force reference path
+//! scans every node, so its cost grows linearly with the population. At 500+
+//! nodes the grid must be at least ~2× faster (see `BENCH_BASELINE.json` for
+//! captured numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobility::Point;
+use netsim::{RadioConfig, RadioMedium};
+use simkit::{SimDuration, SimRng, SimTime};
+
+const RANGE_M: f64 = 442.0;
+const TARGET_NEIGHBORS: f64 = 10.0;
+const BURST: usize = 6;
+
+/// Scatters `nodes` uniformly over an area sized so that on average
+/// `TARGET_NEIGHBORS` nodes fall within radio range of any point.
+fn scatter(nodes: usize, rng: &mut SimRng) -> Vec<Point> {
+    let area = nodes as f64 * std::f64::consts::PI * RANGE_M * RANGE_M / TARGET_NEIGHBORS;
+    let side = area.sqrt();
+    (0..nodes)
+        .map(|_| Point::new(rng.uniform_f64(0.0, side), rng.uniform_f64(0.0, side)))
+        .collect()
+}
+
+struct Round {
+    medium: RadioMedium,
+    rng: SimRng,
+    now: SimTime,
+    nodes: usize,
+}
+
+impl Round {
+    fn new(nodes: usize) -> Self {
+        let mut layout = SimRng::seed_from(nodes as u64);
+        let positions = scatter(nodes, &mut layout);
+        Round {
+            medium: RadioMedium::with_positions(RadioConfig::ideal(RANGE_M), &positions),
+            rng: SimRng::seed_from(7),
+            now: SimTime::ZERO,
+            nodes,
+        }
+    }
+
+    /// One complete_transmission-heavy round: a burst of overlapping frames
+    /// from spread-out senders, then resolution of each.
+    fn run(&mut self, brute: bool) -> usize {
+        let stride = (self.nodes / BURST).max(1);
+        let mut pending = Vec::with_capacity(BURST);
+        for b in 0..BURST {
+            let sender = (b * stride) % self.nodes;
+            let (tx, _) = self.medium.begin_transmission(sender, 400, self.now);
+            pending.push(tx);
+        }
+        let mut outcomes = 0;
+        for tx in pending {
+            outcomes += if brute {
+                self.medium.complete_transmission_brute(tx, &mut self.rng).len()
+            } else {
+                self.medium.complete_transmission(tx, &mut self.rng).len()
+            };
+        }
+        // Advance past the prune horizon so the transmission slab stays small.
+        self.now += SimDuration::from_secs(30);
+        outcomes
+    }
+}
+
+fn bench_grid_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_scaling");
+    for &nodes in &[200usize, 500, 1000] {
+        let mut round = Round::new(nodes);
+        group.bench_function(format!("grid/{nodes}"), |b| {
+            b.iter(|| round.run(false));
+        });
+        let mut round = Round::new(nodes);
+        group.bench_function(format!("brute/{nodes}"), |b| {
+            b.iter(|| round.run(true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_scaling);
+criterion_main!(benches);

@@ -67,7 +67,9 @@ pub mod world;
 
 pub use output::DataTable;
 pub use report::{EventOutcome, ExperimentPoint, NodeReport, RunReport};
-pub use runner::{run_scenario, run_scenario_reports, SeedPlan};
+pub use runner::{
+    run_scenario, run_scenario_reports, run_scenario_reports_with_progress, SeedPlan, SeedProgress,
+};
 pub use scenario::{
     MobilityKind, ProtocolKind, Publication, PublisherChoice, Scenario, ScenarioBuilder,
     ScenarioError,

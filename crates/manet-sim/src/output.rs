@@ -126,8 +126,12 @@ fn format_value(value: f64) -> String {
         format!("{value:.0}")
     } else if value.abs() >= 1.0 {
         format!("{value:.2}")
-    } else {
+    } else if value.abs() >= 0.001 {
         format!("{value:.3}")
+    } else {
+        // Tiny but non-zero: scientific notation, so a real measurement is
+        // never rendered indistinguishably from an exact zero.
+        format!("{value:.1e}")
     }
 }
 
@@ -200,6 +204,16 @@ mod tests {
         assert_eq!(format_value(0.1234), "0.123");
         assert_eq!(format_value(12.345), "12.35");
         assert_eq!(format_value(4321.9), "4322");
+    }
+
+    #[test]
+    fn tiny_non_zero_values_do_not_render_as_zero() {
+        // Regression: 0.0004 used to print as "0.000", indistinguishable from
+        // a structural zero in the per-process tables.
+        assert_eq!(format_value(0.0004), "4.0e-4");
+        assert_eq!(format_value(-0.0004), "-4.0e-4");
+        assert_eq!(format_value(0.001), "0.001");
+        assert!(format_value(1e-9).contains("e-9"));
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! Every data point of the paper is an average over 30 independent simulation
 //! runs. [`run_scenario`] executes one scenario over a set of seeds — in
-//! parallel, one thread per available core — and aggregates the reports into an
-//! [`ExperimentPoint`].
+//! parallel on a chunked work-stealing pool, one thread per available core —
+//! and aggregates the reports into an [`ExperimentPoint`]. Long sweeps can
+//! observe per-seed completion through
+//! [`run_scenario_reports_with_progress`].
 
 use crate::report::{ExperimentPoint, RunReport};
 use crate::scenario::{Scenario, ScenarioError};
@@ -67,6 +69,20 @@ pub fn run_scenario(scenario: &Scenario, plan: SeedPlan) -> Result<ExperimentPoi
     Ok(point)
 }
 
+/// Progress notification for one completed seed, handed to the callback of
+/// [`run_scenario_reports_with_progress`].
+#[derive(Debug, Clone, Copy)]
+pub struct SeedProgress<'a> {
+    /// The seed whose run just finished.
+    pub seed: u64,
+    /// Number of seeds finished so far (including this one).
+    pub completed: usize,
+    /// Total number of seeds in the plan.
+    pub total: usize,
+    /// The report the run produced.
+    pub report: &'a RunReport,
+}
+
 /// Runs `scenario` once per seed of `plan` and returns every individual report,
 /// ordered by seed.
 ///
@@ -77,6 +93,30 @@ pub fn run_scenario_reports(
     scenario: &Scenario,
     plan: SeedPlan,
 ) -> Result<Vec<RunReport>, ScenarioError> {
+    run_scenario_reports_with_progress(scenario, plan, |_| {})
+}
+
+/// Like [`run_scenario_reports`], but invokes `on_seed` after every completed
+/// run (from the worker thread that ran it), so long sweeps can stream
+/// progress to a UI or log.
+///
+/// Seeds are distributed over a chunked work-stealing pool: each worker
+/// repeatedly claims a contiguous chunk of the seed list through one atomic
+/// counter, so threads that draw slow seeds (denser layouts, more collisions)
+/// steal less work while fast threads keep the pool busy, and contention on
+/// the counter stays low even for plans with thousands of seeds.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the scenario fails validation.
+pub fn run_scenario_reports_with_progress<F>(
+    scenario: &Scenario,
+    plan: SeedPlan,
+    on_seed: F,
+) -> Result<Vec<RunReport>, ScenarioError>
+where
+    F: Fn(SeedProgress<'_>) + Sync,
+{
     scenario.validate()?;
     let seeds: Vec<u64> = plan.seeds().collect();
     if seeds.is_empty() {
@@ -86,22 +126,36 @@ pub fn run_scenario_reports(
         .map(|n| n.get())
         .unwrap_or(1)
         .min(seeds.len());
+    // Chunks small enough that slow seeds cannot serialize the tail of the
+    // sweep, large enough that the atomic counter is touched rarely.
+    let chunk_size = (seeds.len() / (workers * 4)).max(1);
 
-    let next = AtomicUsize::new(0);
+    let next_chunk = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; seeds.len()]);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= seeds.len() {
+                let start = next_chunk.fetch_add(chunk_size, Ordering::Relaxed);
+                if start >= seeds.len() {
                     break;
                 }
-                let seed = seeds[index];
-                let world = World::new(scenario.clone(), seed)
-                    .expect("scenario validated before spawning workers");
-                let report = world.run();
-                results.lock()[index] = Some(report);
+                let end = (start + chunk_size).min(seeds.len());
+                for index in start..end {
+                    let seed = seeds[index];
+                    let world = World::new(scenario.clone(), seed)
+                        .expect("scenario validated before spawning workers");
+                    let report = world.run();
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    on_seed(SeedProgress {
+                        seed,
+                        completed: done,
+                        total: seeds.len(),
+                        report: &report,
+                    });
+                    results.lock()[index] = Some(report);
+                }
             });
         }
     });
@@ -173,6 +227,36 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert_eq!(a.iter().map(|r| r.seed).collect::<Vec<_>>(), vec![5, 6, 7]);
         assert_eq!(a, b, "parallel execution must not change results");
+    }
+
+    #[test]
+    fn progress_callback_sees_every_seed_exactly_once() {
+        let scenario = tiny_scenario();
+        let seen = Mutex::new(Vec::new());
+        let reports =
+            run_scenario_reports_with_progress(&scenario, SeedPlan::new(3, 5), |progress| {
+                assert_eq!(progress.total, 5);
+                assert!(progress.completed >= 1 && progress.completed <= 5);
+                assert_eq!(progress.report.seed, progress.seed);
+                seen.lock().push(progress.seed);
+            })
+            .unwrap();
+        let mut seen = seen.into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![3, 4, 5, 6, 7]);
+        assert_eq!(reports.len(), 5);
+    }
+
+    #[test]
+    fn chunked_pool_matches_sequential_execution_for_many_seeds() {
+        // More seeds than workers × chunks so several steal rounds happen.
+        let scenario = tiny_scenario();
+        let pooled = run_scenario_reports(&scenario, SeedPlan::new(1, 12)).unwrap();
+        assert_eq!(pooled.iter().map(|r| r.seed).collect::<Vec<_>>(), (1..=12).collect::<Vec<_>>());
+        for (offset, report) in pooled.iter().enumerate() {
+            let solo = World::new(scenario.clone(), 1 + offset as u64).unwrap().run();
+            assert_eq!(*report, solo, "pooled seed {} diverged", report.seed);
+        }
     }
 
     #[test]

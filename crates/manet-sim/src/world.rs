@@ -76,7 +76,8 @@ pub struct World {
     end: SimTime,
     queue: EventQueue<WorldEvent>,
     nodes: Vec<SimNode>,
-    positions: Vec<Point>,
+    /// The medium owns the node positions (in its spatial grid); the world
+    /// pushes moves into it incrementally at every mobility tick.
     medium: RadioMedium,
     timers: HashMap<(usize, TimerKind), EventHandle>,
     frames: Vec<Option<PendingFrame>>,
@@ -161,7 +162,7 @@ impl World {
             ProtocolKind::Flooding(_) => ProtocolConfig::paper_default(),
         };
 
-        let medium = RadioMedium::new(scenario.radio.clone(), n);
+        let medium = RadioMedium::with_positions(scenario.radio.clone(), &positions);
         let end = SimTime::ZERO + scenario.duration;
         let mut world = World {
             seed,
@@ -169,7 +170,6 @@ impl World {
             end,
             queue: EventQueue::new(),
             nodes,
-            positions,
             medium,
             timers: HashMap::new(),
             frames: Vec::new(),
@@ -252,7 +252,7 @@ impl World {
         let tick = self.scenario.mobility_tick;
         for (index, node) in self.nodes.iter_mut().enumerate() {
             node.mobility.advance(tick, &mut node.rng);
-            self.positions[index] = node.mobility.position();
+            self.medium.update_position(index, node.mobility.position());
             node.protocol.update_speed(Some(node.mobility.speed()));
         }
         let next = self.now + tick;
@@ -287,9 +287,7 @@ impl World {
             ),
             None => return,
         };
-        let (tx, ends_at) =
-            self.medium
-                .begin_transmission(sender, self.positions[sender], size, self.now);
+        let (tx, ends_at) = self.medium.begin_transmission(sender, size, self.now);
         self.queue.schedule(ends_at, WorldEvent::TxEnd { frame, tx });
     }
 
@@ -298,9 +296,7 @@ impl World {
             Some(pending) => pending,
             None => return,
         };
-        let outcomes = self
-            .medium
-            .complete_transmission(tx, &self.positions, &mut self.mac_rng);
+        let outcomes = self.medium.complete_transmission(tx, &mut self.mac_rng);
         let now = self.now;
         for (receiver, outcome) in outcomes {
             if outcome != ReceptionOutcome::Received {

@@ -1,0 +1,240 @@
+//! Uniform spatial hash grid over node positions.
+//!
+//! [`SpatialGrid`] buckets nodes into square cells of a fixed size (the radio
+//! range, for the medium's use) so that "who is within `r` meters of this
+//! point?" touches only the cells overlapping the query disc instead of every
+//! node. With the cell size equal to the radio range, a reception query visits
+//! at most the 3×3 cell neighborhood of the sender — O(neighbors) instead of
+//! O(nodes) — which is what keeps dense, paper-scale-and-beyond sweeps
+//! tractable.
+//!
+//! Determinism contract: [`SpatialGrid::query_into`] returns candidate node
+//! indices in **ascending index order**, exactly the order the brute-force scan
+//! over `0..node_count` visits them. Because out-of-range nodes consume no
+//! randomness during reception resolution, iterating the (superset) candidate
+//! list in ascending order consumes the RNG stream bit-identically to the full
+//! scan.
+
+use mobility::Point;
+use std::collections::HashMap;
+
+/// Integer coordinates of one grid cell.
+type Cell = (i64, i64);
+
+/// A uniform spatial hash: node index → cell, cell → node indices.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell_size: f64,
+    positions: Vec<Point>,
+    /// Cell of each node, kept in lockstep with `positions`.
+    cells: Vec<Cell>,
+    /// Occupancy per cell. Vectors are unordered; queries sort their output.
+    buckets: HashMap<Cell, Vec<usize>>,
+}
+
+impl SpatialGrid {
+    /// Creates a grid of `node_count` nodes, all initially at the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64, node_count: usize) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        let origin_cell = cell_of(Point::ORIGIN, cell_size);
+        let mut buckets = HashMap::new();
+        buckets.insert(origin_cell, (0..node_count).collect());
+        SpatialGrid {
+            cell_size,
+            positions: vec![Point::ORIGIN; node_count],
+            cells: vec![origin_cell; node_count],
+            buckets,
+        }
+    }
+
+    /// Number of nodes tracked by the grid.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The side length of one cell in meters.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Current position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: usize) -> Point {
+        self.positions[node]
+    }
+
+    /// All tracked positions, indexed by node.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Moves `node` to `position`, rebucketing it if it crossed a cell border.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `position` has a non-finite
+    /// coordinate.
+    pub fn update(&mut self, node: usize, position: Point) {
+        assert!(
+            position.x.is_finite() && position.y.is_finite(),
+            "node {node} moved to a non-finite position {position}"
+        );
+        self.positions[node] = position;
+        let new_cell = cell_of(position, self.cell_size);
+        let old_cell = self.cells[node];
+        if new_cell == old_cell {
+            return;
+        }
+        let old_bucket = self
+            .buckets
+            .get_mut(&old_cell)
+            .expect("occupied cell must have a bucket");
+        let slot = old_bucket
+            .iter()
+            .position(|&n| n == node)
+            .expect("node must be in its recorded cell");
+        old_bucket.swap_remove(slot);
+        if old_bucket.is_empty() {
+            self.buckets.remove(&old_cell);
+        }
+        self.cells[node] = new_cell;
+        self.buckets.entry(new_cell).or_default().push(node);
+    }
+
+    /// Appends to `out` every node whose cell overlaps the disc of `radius`
+    /// around `center`, in ascending node-index order. The result is a superset
+    /// of the nodes actually within `radius` (callers still filter by exact
+    /// distance) and never misses one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn query_into(&self, center: Point, radius: f64, out: &mut Vec<usize>) {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "query radius must be non-negative and finite, got {radius}"
+        );
+        out.clear();
+        let span = (radius / self.cell_size).ceil() as i64;
+        let (cx, cy) = cell_of(center, self.cell_size);
+        for gx in cx - span..=cx + span {
+            for gy in cy - span..=cy + span {
+                if let Some(bucket) = self.buckets.get(&(gx, gy)) {
+                    out.extend_from_slice(bucket);
+                }
+            }
+        }
+        // Each node lives in exactly one bucket, so sorting suffices (no dedup)
+        // — and ascending order is the determinism contract (see module docs).
+        out.sort_unstable();
+    }
+}
+
+fn cell_of(p: Point, cell_size: f64) -> Cell {
+    ((p.x / cell_size).floor() as i64, (p.y / cell_size).floor() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(grid: &SpatialGrid, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        grid.query_into(center, radius, &mut out);
+        out
+    }
+
+    #[test]
+    fn starts_with_everyone_at_the_origin() {
+        let grid = SpatialGrid::new(100.0, 4);
+        assert_eq!(grid.node_count(), 4);
+        assert_eq!(grid.position(2), Point::ORIGIN);
+        assert_eq!(query(&grid, Point::ORIGIN, 50.0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn update_moves_nodes_between_cells() {
+        let mut grid = SpatialGrid::new(100.0, 3);
+        grid.update(0, Point::new(50.0, 50.0));
+        grid.update(1, Point::new(550.0, 50.0));
+        grid.update(2, Point::new(1050.0, 50.0));
+        assert_eq!(query(&grid, Point::new(50.0, 50.0), 100.0), vec![0]);
+        assert_eq!(query(&grid, Point::new(550.0, 50.0), 100.0), vec![1]);
+        // A wide query still sees everyone.
+        assert_eq!(query(&grid, Point::new(550.0, 50.0), 600.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn query_covers_the_full_disc_across_cell_borders() {
+        let mut grid = SpatialGrid::new(100.0, 2);
+        // Node 1 sits just across a cell border from the query center: the
+        // 3×3 neighborhood must still include it.
+        grid.update(0, Point::new(99.0, 50.0));
+        grid.update(1, Point::new(101.0, 50.0));
+        assert_eq!(query(&grid, Point::new(99.0, 50.0), 100.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn query_handles_radius_larger_than_cell() {
+        let mut grid = SpatialGrid::new(44.0, 2);
+        grid.update(0, Point::new(0.0, 0.0));
+        grid.update(1, Point::new(130.0, 0.0));
+        // Radius of three cells: the span math must widen the search window.
+        assert_eq!(query(&grid, Point::new(0.0, 0.0), 132.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_coordinates_are_bucketed_correctly() {
+        let mut grid = SpatialGrid::new(100.0, 2);
+        grid.update(0, Point::new(-50.0, -50.0));
+        grid.update(1, Point::new(-250.0, -250.0));
+        assert_eq!(query(&grid, Point::new(-50.0, -50.0), 100.0), vec![0]);
+        assert_eq!(query(&grid, Point::new(-150.0, -150.0), 150.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn results_are_in_ascending_node_order() {
+        let mut grid = SpatialGrid::new(100.0, 6);
+        // Scatter in reverse so bucket insertion order differs from index order.
+        for node in (0..6).rev() {
+            grid.update(node, Point::new(node as f64 * 30.0, 0.0));
+        }
+        let result = query(&grid, Point::new(75.0, 0.0), 100.0);
+        let mut sorted = result.clone();
+        sorted.sort_unstable();
+        assert_eq!(result, sorted);
+        assert_eq!(result, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_cells_are_dropped() {
+        let mut grid = SpatialGrid::new(100.0, 1);
+        for step in 0..100 {
+            grid.update(0, Point::new(step as f64 * 500.0, 0.0));
+        }
+        assert_eq!(grid.buckets.len(), 1, "only the occupied cell may remain");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_finite_positions() {
+        let mut grid = SpatialGrid::new(100.0, 1);
+        grid.update(0, Point::new(f64::NAN, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_cell_size() {
+        let _ = SpatialGrid::new(0.0, 1);
+    }
+}

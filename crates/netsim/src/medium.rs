@@ -13,13 +13,23 @@
 //! * receivers in the outer fringe of the range suffer additional random loss,
 //!   standing in for QualNet's statistical propagation model.
 //!
+//! The medium owns the node positions in a [`SpatialGrid`] (cell size = radio
+//! range), updated incrementally as nodes move, so resolving a reception
+//! touches only the sender's 3×3 cell neighborhood — O(neighbors) instead of
+//! O(nodes). Candidates are visited in ascending node index, which keeps the
+//! RNG stream — and therefore every simulation report — bit-identical to the
+//! brute-force full scan (kept as [`RadioMedium::complete_transmission_brute`]
+//! for equivalence tests and the scaling benchmark).
+//!
 //! The medium also does per-node traffic accounting ([`TrafficCounters`]),
 //! which the frugality experiments (Fig. 17–20) read back.
 
+use crate::grid::SpatialGrid;
 use crate::radio::RadioConfig;
 use mobility::Point;
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
 
 /// Identifier of an in-flight transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -78,20 +88,45 @@ pub enum ReceptionOutcome {
 #[derive(Debug)]
 pub struct RadioMedium {
     config: RadioConfig,
+    /// Node positions, bucketed by radio-range-sized cells.
+    grid: SpatialGrid,
     transmissions: Vec<Transmission>,
+    /// Index of each tracked transmission in `transmissions`, keyed by id —
+    /// completing a frame is a map lookup, not a linear scan.
+    tx_index: HashMap<TxId, usize>,
     counters: Vec<TrafficCounters>,
     next_tx: u64,
+    /// Scratch buffer for grid queries, reused across completions.
+    candidates: Vec<usize>,
 }
 
 impl RadioMedium {
-    /// Creates a medium for `node_count` nodes sharing one `config`.
+    /// Creates a medium for `node_count` nodes sharing one `config`, all nodes
+    /// initially at the origin. Push real positions with
+    /// [`RadioMedium::update_position`] or [`RadioMedium::sync_positions`]
+    /// before transmitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured radio range is not strictly positive and
+    /// finite.
     pub fn new(config: RadioConfig, node_count: usize) -> Self {
         RadioMedium {
+            grid: SpatialGrid::new(config.range_m, node_count),
             config,
             transmissions: Vec::new(),
+            tx_index: HashMap::new(),
             counters: vec![TrafficCounters::default(); node_count],
             next_tx: 0,
+            candidates: Vec::new(),
         }
+    }
+
+    /// Creates a medium with one node per entry of `positions`.
+    pub fn with_positions(config: RadioConfig, positions: &[Point]) -> Self {
+        let mut medium = RadioMedium::new(config, positions.len());
+        medium.sync_positions(positions);
+        medium
     }
 
     /// The radio configuration shared by all nodes.
@@ -102,6 +137,40 @@ impl RadioMedium {
     /// Number of nodes known to the medium.
     pub fn node_count(&self) -> usize {
         self.counters.len()
+    }
+
+    /// Current position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: usize) -> Point {
+        self.grid.position(node)
+    }
+
+    /// Moves `node` to `position` (typically once per mobility tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `position` is not finite.
+    pub fn update_position(&mut self, node: usize, position: Point) {
+        self.grid.update(node, position);
+    }
+
+    /// Replaces every node's position at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` does not hold exactly one entry per node.
+    pub fn sync_positions(&mut self, positions: &[Point]) {
+        assert_eq!(
+            positions.len(),
+            self.counters.len(),
+            "one position per node is required"
+        );
+        for (node, &position) in positions.iter().enumerate() {
+            self.grid.update(node, position);
+        }
     }
 
     /// Traffic counters of node `node`.
@@ -118,9 +187,9 @@ impl RadioMedium {
         &self.counters
     }
 
-    /// Registers that `sender`, located at `position`, starts transmitting a
-    /// frame of `payload_bytes` at time `now`. Returns the transmission id and
-    /// the time at which the frame ends (when
+    /// Registers that `sender` starts transmitting a frame of `payload_bytes`
+    /// at time `now`, from its current position. Returns the transmission id
+    /// and the time at which the frame ends (when
     /// [`RadioMedium::complete_transmission`] must be called).
     ///
     /// # Panics
@@ -129,7 +198,6 @@ impl RadioMedium {
     pub fn begin_transmission(
         &mut self,
         sender: usize,
-        position: Point,
         payload_bytes: usize,
         now: SimTime,
     ) -> (TxId, SimTime) {
@@ -138,10 +206,11 @@ impl RadioMedium {
         let id = TxId(self.next_tx);
         self.next_tx += 1;
         let end = now + self.config.air_time(payload_bytes);
+        self.tx_index.insert(id, self.transmissions.len());
         self.transmissions.push(Transmission {
             id,
             sender,
-            position,
+            position: self.grid.position(sender),
             start: now,
             end,
             payload_bytes,
@@ -153,45 +222,75 @@ impl RadioMedium {
         (id, end)
     }
 
-    /// Completes transmission `tx` and resolves reception at every other node.
+    /// Completes transmission `tx` and resolves reception at every node in
+    /// range of the sender (excluding the sender itself), using the positions
+    /// the medium tracks. Returns the per-receiver outcomes; nodes outside the
+    /// range are not listed.
     ///
-    /// `positions[i]` must be the current position of node `i`. Returns, for
-    /// every node within range of the sender (excluding the sender itself), the
-    /// reception outcome. Nodes outside the range are not listed.
+    /// Only the sender's 3×3 grid-cell neighborhood is examined, in ascending
+    /// node index, so outcomes and RNG consumption are bit-identical to
+    /// [`RadioMedium::complete_transmission_brute`].
     ///
     /// # Panics
     ///
-    /// Panics if `tx` is unknown or already completed, or if `positions` is
-    /// shorter than the node count.
+    /// Panics if `tx` is unknown or already completed.
     pub fn complete_transmission(
         &mut self,
         tx: TxId,
-        positions: &[Point],
         rng: &mut SimRng,
     ) -> Vec<(usize, ReceptionOutcome)> {
-        assert!(
-            positions.len() >= self.counters.len(),
-            "positions for every node are required"
-        );
-        let idx = self
-            .transmissions
-            .iter()
-            .position(|t| t.id == tx)
-            .expect("unknown transmission id");
+        let current = self.take_current(tx);
+        let mut candidates = std::mem::take(&mut self.candidates);
+        self.grid
+            .query_into(current.position, self.config.range_m, &mut candidates);
+        let outcomes = self.resolve_receivers(&current, &candidates, rng);
+        self.candidates = candidates;
+        outcomes
+    }
+
+    /// The pre-grid reference path: resolves reception by scanning **all**
+    /// nodes in ascending index order. Semantically identical to
+    /// [`RadioMedium::complete_transmission`] but O(nodes) per frame; kept so
+    /// equivalence tests and the scaling benchmark can compare the two.
+    #[doc(hidden)]
+    pub fn complete_transmission_brute(
+        &mut self,
+        tx: TxId,
+        rng: &mut SimRng,
+    ) -> Vec<(usize, ReceptionOutcome)> {
+        let current = self.take_current(tx);
+        let everyone: Vec<usize> = (0..self.counters.len()).collect();
+        self.resolve_receivers(&current, &everyone, rng)
+    }
+
+    /// Marks `tx` completed and returns a copy of its record.
+    fn take_current(&mut self, tx: TxId) -> Transmission {
+        let idx = *self.tx_index.get(&tx).expect("unknown transmission id");
         assert!(!self.transmissions[idx].completed, "transmission completed twice");
         self.transmissions[idx].completed = true;
-        let current = self.transmissions[idx].clone();
+        self.transmissions[idx].clone()
+    }
 
+    /// Resolves reception of `current` at each of `receivers` (ascending node
+    /// index), skipping the sender and nodes beyond the radio range, and
+    /// updates the traffic counters.
+    fn resolve_receivers(
+        &mut self,
+        current: &Transmission,
+        receivers: &[usize],
+        rng: &mut SimRng,
+    ) -> Vec<(usize, ReceptionOutcome)> {
         let mut outcomes = Vec::new();
-        for (receiver, &rx_pos) in positions.iter().enumerate().take(self.counters.len()) {
+        for &receiver in receivers {
             if receiver == current.sender {
                 continue;
             }
+            let rx_pos = self.grid.position(receiver);
             let distance = current.position.distance(rx_pos);
             if distance > self.config.range_m {
                 continue;
             }
-            let outcome = self.resolve_reception(&current, receiver, rx_pos, distance, rng);
+            let outcome = self.resolve_reception(current, receiver, rx_pos, distance, rng);
             let wire = self.config.wire_bytes(current.payload_bytes);
             let counters = &mut self.counters[receiver];
             match outcome {
@@ -249,14 +348,23 @@ impl RadioMedium {
     }
 
     /// Drops completed transmissions that can no longer interfere with frames
-    /// starting at or after `now`.
+    /// starting at or after `now`, and rebuilds the id index if anything moved.
     fn prune(&mut self, now: SimTime) {
         // Keep a generous guard window: nothing on the air lasts longer than the
         // air time of the largest frame we will ever see (a few ms); 10 s is
         // far beyond any interference horizon.
         let horizon = SimDuration::from_secs(10);
+        let before = self.transmissions.len();
         self.transmissions
             .retain(|t| !t.completed || t.end + horizon > now);
+        if self.transmissions.len() != before {
+            self.tx_index = self
+                .transmissions
+                .iter()
+                .enumerate()
+                .map(|(idx, t)| (t.id, idx))
+                .collect();
+        }
     }
 
     /// Number of transmissions currently tracked (for tests and diagnostics).
@@ -273,18 +381,18 @@ mod tests {
         points.iter().map(|&(x, y)| Point::new(x, y)).collect()
     }
 
-    fn ideal_medium(nodes: usize, range: f64) -> RadioMedium {
-        RadioMedium::new(RadioConfig::ideal(range), nodes)
+    fn ideal_medium(pos: &[Point], range: f64) -> RadioMedium {
+        RadioMedium::with_positions(RadioConfig::ideal(range), pos)
     }
 
     #[test]
     fn in_range_node_receives() {
-        let mut medium = ideal_medium(3, 100.0);
         let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (500.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
-        let (tx, end) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
+        let (tx, end) = medium.begin_transmission(0, 400, SimTime::ZERO);
         assert!(end > SimTime::ZERO);
-        let outcomes = medium.complete_transmission(tx, &pos, &mut rng);
+        let outcomes = medium.complete_transmission(tx, &mut rng);
         assert_eq!(outcomes, vec![(1, ReceptionOutcome::Received)]);
         assert_eq!(medium.counters(1).frames_received, 1);
         assert_eq!(medium.counters(2).frames_received, 0, "node 2 is out of range");
@@ -294,24 +402,24 @@ mod tests {
 
     #[test]
     fn sender_never_receives_its_own_frame() {
-        let mut medium = ideal_medium(2, 100.0);
         let pos = positions(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
-        let (tx, _) = medium.begin_transmission(0, pos[0], 100, SimTime::ZERO);
-        let outcomes = medium.complete_transmission(tx, &pos, &mut rng);
+        let (tx, _) = medium.begin_transmission(0, 100, SimTime::ZERO);
+        let outcomes = medium.complete_transmission(tx, &mut rng);
         assert!(outcomes.iter().all(|&(r, _)| r != 0));
     }
 
     #[test]
     fn overlapping_transmissions_collide_at_common_receiver() {
-        let mut medium = ideal_medium(3, 100.0);
         // Nodes 0 and 2 both in range of node 1; they transmit at the same time.
         let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
-        let (tx_a, _) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
-        let (tx_b, _) = medium.begin_transmission(2, pos[2], 400, SimTime::ZERO);
-        let outcomes_a = medium.complete_transmission(tx_a, &pos, &mut rng);
-        let outcomes_b = medium.complete_transmission(tx_b, &pos, &mut rng);
+        let (tx_a, _) = medium.begin_transmission(0, 400, SimTime::ZERO);
+        let (tx_b, _) = medium.begin_transmission(2, 400, SimTime::ZERO);
+        let outcomes_a = medium.complete_transmission(tx_a, &mut rng);
+        let outcomes_b = medium.complete_transmission(tx_b, &mut rng);
         let at_1_a = outcomes_a.iter().find(|&&(r, _)| r == 1).unwrap().1;
         let at_1_b = outcomes_b.iter().find(|&&(r, _)| r == 1).unwrap().1;
         assert_eq!(at_1_a, ReceptionOutcome::Collided);
@@ -324,41 +432,41 @@ mod tests {
     fn hidden_terminal_does_not_collide_at_far_receiver() {
         // Node 3 only hears node 2; node 0's simultaneous transmission is too far
         // away to interfere there.
-        let mut medium = ideal_medium(4, 100.0);
         let pos = positions(&[(0.0, 0.0), (80.0, 0.0), (300.0, 0.0), (380.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
-        let (tx_a, _) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
-        let (tx_b, _) = medium.begin_transmission(2, pos[2], 400, SimTime::ZERO);
-        let _ = medium.complete_transmission(tx_a, &pos, &mut rng);
-        let outcomes_b = medium.complete_transmission(tx_b, &pos, &mut rng);
+        let (tx_a, _) = medium.begin_transmission(0, 400, SimTime::ZERO);
+        let (tx_b, _) = medium.begin_transmission(2, 400, SimTime::ZERO);
+        let _ = medium.complete_transmission(tx_a, &mut rng);
+        let outcomes_b = medium.complete_transmission(tx_b, &mut rng);
         let at_3 = outcomes_b.iter().find(|&&(r, _)| r == 3).unwrap().1;
         assert_eq!(at_3, ReceptionOutcome::Received);
     }
 
     #[test]
     fn non_overlapping_transmissions_do_not_collide() {
-        let mut medium = ideal_medium(3, 100.0);
         let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
-        let (tx_a, end_a) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
-        let a = medium.complete_transmission(tx_a, &pos, &mut rng);
+        let (tx_a, end_a) = medium.begin_transmission(0, 400, SimTime::ZERO);
+        let a = medium.complete_transmission(tx_a, &mut rng);
         // Second transmission starts strictly after the first ended.
-        let (tx_b, _) = medium.begin_transmission(2, pos[2], 400, end_a + SimDuration::from_millis(5));
-        let b = medium.complete_transmission(tx_b, &pos, &mut rng);
+        let (tx_b, _) = medium.begin_transmission(2, 400, end_a + SimDuration::from_millis(5));
+        let b = medium.complete_transmission(tx_b, &mut rng);
         assert!(a.iter().any(|&(r, o)| r == 1 && o == ReceptionOutcome::Received));
         assert!(b.iter().any(|&(r, o)| r == 1 && o == ReceptionOutcome::Received));
     }
 
     #[test]
     fn receiver_busy_transmitting_misses_frame() {
-        let mut medium = ideal_medium(2, 100.0);
         let pos = positions(&[(0.0, 0.0), (50.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
-        let (tx_a, _) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
-        let (tx_b, _) = medium.begin_transmission(1, pos[1], 400, SimTime::ZERO);
-        let outcomes_a = medium.complete_transmission(tx_a, &pos, &mut rng);
+        let (tx_a, _) = medium.begin_transmission(0, 400, SimTime::ZERO);
+        let (tx_b, _) = medium.begin_transmission(1, 400, SimTime::ZERO);
+        let outcomes_a = medium.complete_transmission(tx_a, &mut rng);
         assert_eq!(outcomes_a, vec![(1, ReceptionOutcome::SelfBusy)]);
-        let outcomes_b = medium.complete_transmission(tx_b, &pos, &mut rng);
+        let outcomes_b = medium.complete_transmission(tx_b, &mut rng);
         assert_eq!(outcomes_b, vec![(0, ReceptionOutcome::SelfBusy)]);
     }
 
@@ -369,11 +477,11 @@ mod tests {
             fringe_start_fraction: 0.8,
             ..RadioConfig::ideal(100.0)
         };
-        let mut medium = RadioMedium::new(config, 3);
         let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (95.0, 0.0)]);
+        let mut medium = RadioMedium::with_positions(config, &pos);
         let mut rng = SimRng::seed_from(1);
-        let (tx, _) = medium.begin_transmission(0, pos[0], 100, SimTime::ZERO);
-        let outcomes = medium.complete_transmission(tx, &pos, &mut rng);
+        let (tx, _) = medium.begin_transmission(0, 100, SimTime::ZERO);
+        let outcomes = medium.complete_transmission(tx, &mut rng);
         assert!(outcomes.contains(&(1, ReceptionOutcome::Received)), "inner node unaffected");
         assert!(outcomes.contains(&(2, ReceptionOutcome::FringeLoss)), "fringe node loses");
         assert_eq!(medium.counters(2).frames_lost_fringe, 1);
@@ -381,11 +489,12 @@ mod tests {
 
     #[test]
     fn byte_accounting_includes_overhead() {
-        let mut medium = RadioMedium::new(RadioConfig::paper_random_waypoint(), 2);
         let pos = positions(&[(0.0, 0.0), (50.0, 0.0)]);
+        let mut medium =
+            RadioMedium::with_positions(RadioConfig::paper_random_waypoint(), &pos);
         let mut rng = SimRng::seed_from(1);
-        let (tx, _) = medium.begin_transmission(0, pos[0], 400, SimTime::ZERO);
-        medium.complete_transmission(tx, &pos, &mut rng);
+        let (tx, _) = medium.begin_transmission(0, 400, SimTime::ZERO);
+        medium.complete_transmission(tx, &mut rng);
         assert_eq!(medium.counters(0).bytes_sent, 458);
         assert_eq!(medium.counters(1).bytes_received, 458);
         assert_eq!(medium.counters(0).total_bytes(), 458);
@@ -394,13 +503,13 @@ mod tests {
 
     #[test]
     fn pruning_keeps_memory_bounded() {
-        let mut medium = ideal_medium(2, 100.0);
         let pos = positions(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
         let mut now = SimTime::ZERO;
         for _ in 0..1000 {
-            let (tx, end) = medium.begin_transmission(0, pos[0], 100, now);
-            medium.complete_transmission(tx, &pos, &mut rng);
+            let (tx, end) = medium.begin_transmission(0, 100, now);
+            medium.complete_transmission(tx, &mut rng);
             now = end + SimDuration::from_secs(1);
         }
         assert!(
@@ -411,23 +520,58 @@ mod tests {
     }
 
     #[test]
+    fn tx_lookup_survives_pruning() {
+        // Interleave long-lived and short-lived frames so pruning reshuffles
+        // the transmission slab while a frame is still pending completion.
+        let pos = positions(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
+        let mut rng = SimRng::seed_from(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..30 {
+            let (tx_a, _) = medium.begin_transmission(0, 100, now);
+            now += SimDuration::from_secs(20); // beyond the prune horizon
+            let (tx_b, _) = medium.begin_transmission(1, 100, now);
+            medium.complete_transmission(tx_a, &mut rng);
+            medium.complete_transmission(tx_b, &mut rng);
+            now += SimDuration::from_secs(20);
+        }
+        assert!(medium.tracked_transmissions() < 10);
+    }
+
+    #[test]
+    fn moved_nodes_hear_according_to_their_new_position() {
+        let pos = positions(&[(0.0, 0.0), (500.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
+        let mut rng = SimRng::seed_from(1);
+        let (tx, _) = medium.begin_transmission(0, 100, SimTime::ZERO);
+        assert!(medium.complete_transmission(tx, &mut rng).is_empty());
+        // Node 1 walks into range; the next frame reaches it.
+        medium.update_position(1, Point::new(60.0, 0.0));
+        let (tx, _) = medium.begin_transmission(0, 100, SimTime::from_secs(30));
+        assert_eq!(
+            medium.complete_transmission(tx, &mut rng),
+            vec![(1, ReceptionOutcome::Received)]
+        );
+    }
+
+    #[test]
     #[should_panic]
     fn completing_twice_panics() {
-        let mut medium = ideal_medium(2, 100.0);
         let pos = positions(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
-        let (tx, _) = medium.begin_transmission(0, pos[0], 100, SimTime::ZERO);
-        medium.complete_transmission(tx, &pos, &mut rng);
-        medium.complete_transmission(tx, &pos, &mut rng);
+        let (tx, _) = medium.begin_transmission(0, 100, SimTime::ZERO);
+        medium.complete_transmission(tx, &mut rng);
+        medium.complete_transmission(tx, &mut rng);
     }
 
     #[test]
     fn exactly_at_range_boundary_is_received() {
-        let mut medium = ideal_medium(2, 100.0);
         let pos = positions(&[(0.0, 0.0), (100.0, 0.0)]);
+        let mut medium = ideal_medium(&pos, 100.0);
         let mut rng = SimRng::seed_from(1);
-        let (tx, _) = medium.begin_transmission(0, pos[0], 100, SimTime::ZERO);
-        let outcomes = medium.complete_transmission(tx, &pos, &mut rng);
+        let (tx, _) = medium.begin_transmission(0, 100, SimTime::ZERO);
+        let outcomes = medium.complete_transmission(tx, &mut rng);
         assert_eq!(outcomes.len(), 1, "boundary distance counts as in range");
     }
 }
@@ -443,17 +587,17 @@ mod proptests {
         /// (frames sent), and every received byte was sent by someone.
         #[test]
         fn accounting_is_conservative(seed in any::<u64>(), sends in 1usize..30) {
-            let mut medium = RadioMedium::new(RadioConfig::ideal(150.0), 5);
             let mut rng = SimRng::seed_from(seed);
             let mut scatter = SimRng::seed_from(seed ^ 0xDEAD);
             let pos: Vec<Point> = (0..5)
                 .map(|_| Point::new(scatter.uniform_f64(0.0, 300.0), scatter.uniform_f64(0.0, 300.0)))
                 .collect();
+            let mut medium = RadioMedium::with_positions(RadioConfig::ideal(150.0), &pos);
             let mut now = SimTime::ZERO;
             for i in 0..sends {
                 let sender = i % 5;
-                let (tx, end) = medium.begin_transmission(sender, pos[sender], 200, now);
-                medium.complete_transmission(tx, &pos, &mut rng);
+                let (tx, end) = medium.begin_transmission(sender, 200, now);
+                medium.complete_transmission(tx, &mut rng);
                 now = end + SimDuration::from_millis(scatter.uniform_u64(0, 50));
             }
             let total_sent: u64 = medium.all_counters().iter().map(|c| c.frames_sent).sum();
@@ -468,6 +612,67 @@ mod proptests {
             let bytes_sent: u64 = medium.all_counters().iter().map(|c| c.bytes_sent).sum();
             let bytes_received: u64 = medium.all_counters().iter().map(|c| c.bytes_received).sum();
             prop_assert!(bytes_received <= bytes_sent * 4);
+        }
+
+        /// The grid-backed reception path is bit-identical to the brute-force
+        /// full scan: same outcomes, same counters, and — because candidates
+        /// are visited in ascending node index — identical RNG consumption, on
+        /// random layouts with moving nodes and overlapping frames.
+        #[test]
+        fn grid_matches_brute_force_reference(
+            seed in any::<u64>(),
+            nodes in 2usize..40,
+            rounds in 1usize..25,
+            side in 50.0f64..2000.0,
+        ) {
+            let config = RadioConfig {
+                fringe_loss_probability: 0.4,
+                fringe_start_fraction: 0.6,
+                ..RadioConfig::ideal(150.0)
+            };
+            let mut scatter = SimRng::seed_from(seed ^ 0x5CA77E4);
+            let pos: Vec<Point> = (0..nodes)
+                .map(|_| Point::new(scatter.uniform_f64(0.0, side), scatter.uniform_f64(0.0, side)))
+                .collect();
+            let mut grid_medium = RadioMedium::with_positions(config.clone(), &pos);
+            let mut brute_medium = RadioMedium::with_positions(config, &pos);
+            let mut grid_rng = SimRng::seed_from(seed);
+            let mut brute_rng = SimRng::seed_from(seed);
+
+            let mut now = SimTime::ZERO;
+            for round in 0..rounds {
+                // Occasionally move a node so rebucketing is exercised.
+                if round % 3 == 0 {
+                    let node = scatter.index(nodes);
+                    let to = Point::new(
+                        scatter.uniform_f64(-100.0, side + 100.0),
+                        scatter.uniform_f64(-100.0, side + 100.0),
+                    );
+                    grid_medium.update_position(node, to);
+                    brute_medium.update_position(node, to);
+                }
+                // A burst of overlapping frames from distinct senders.
+                let burst = 1 + scatter.index(3.min(nodes));
+                let mut pending = Vec::new();
+                for b in 0..burst {
+                    let sender = (round + b * 7) % nodes;
+                    let (tx_g, _) = grid_medium.begin_transmission(sender, 200, now);
+                    let (tx_b, end) = brute_medium.begin_transmission(sender, 200, now);
+                    prop_assert_eq!(tx_g, tx_b);
+                    pending.push((tx_g, end));
+                }
+                for (tx, _) in &pending {
+                    let grid_outcomes = grid_medium.complete_transmission(*tx, &mut grid_rng);
+                    let brute_outcomes =
+                        brute_medium.complete_transmission_brute(*tx, &mut brute_rng);
+                    prop_assert_eq!(&grid_outcomes, &brute_outcomes);
+                }
+                now = pending.last().expect("burst is non-empty").1
+                    + SimDuration::from_millis(scatter.uniform_u64(0, 40));
+            }
+            prop_assert_eq!(grid_medium.all_counters(), brute_medium.all_counters());
+            // Identical RNG consumption: the two streams are still in lockstep.
+            prop_assert_eq!(grid_rng.uniform_u64(0, u64::MAX), brute_rng.uniform_u64(0, u64::MAX));
         }
     }
 }

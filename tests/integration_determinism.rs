@@ -104,6 +104,55 @@ fn parallel_runner_matches_sequential_runs() {
     assert_eq!(parallel, sequential);
 }
 
+/// FNV-1a hash of a report's debug representation. The `Debug` output covers
+/// every field of the report (events, per-node counters, traffic), so two
+/// reports hash equal iff they are bit-identical.
+fn fingerprint(report: &manet_sim::RunReport) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{report:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The spatial-grid medium must reproduce, seed for seed, the exact reports
+/// the brute-force O(nodes) medium produced before the refactor. The golden
+/// fingerprints below were captured from the pre-grid implementation
+/// (commit 19ee6c9); any divergence means the grid changed outcomes or RNG
+/// consumption.
+#[test]
+fn grid_medium_reproduces_pre_refactor_reports_seed_for_seed() {
+    let golden_rw: [(u64, u64); 3] = [
+        (1, 0x1aab_bd1e_6736_647c),
+        (2, 0xc939_0e01_c5ee_f665),
+        (3, 0x74f6_1c0c_4ee7_d8f4),
+    ];
+    let golden_city: [(u64, u64); 2] =
+        [(1, 0x6a30_3cfc_0f5c_ff07), (2, 0xba03_a064_ba51_b36e)];
+    let golden_flooding: [(u64, u64); 2] =
+        [(1, 0x38ff_8d89_0aea_6c14), (2, 0xf04a_0638_c789_c1bf)];
+
+    for (seed, expected) in golden_rw {
+        let s = scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()), rw());
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(got, expected, "random-waypoint report changed for seed {seed}: {got:#018x}");
+    }
+    for (seed, expected) in golden_city {
+        let s = scenario(
+            ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+            MobilityKind::CityCampus,
+        );
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(got, expected, "city report changed for seed {seed}: {got:#018x}");
+    }
+    for (seed, expected) in golden_flooding {
+        let s = scenario(ProtocolKind::Flooding(FloodingPolicy::Simple), rw());
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(got, expected, "flooding report changed for seed {seed}: {got:#018x}");
+    }
+}
+
 #[test]
 fn mobility_models_are_deterministic_per_seed() {
     // Random waypoint.

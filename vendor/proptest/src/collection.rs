@@ -18,7 +18,10 @@ pub struct VecStrategy<S> {
     size: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         assert!(
@@ -28,5 +31,26 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         );
         let len = rng.gen_range(self.size.clone());
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Shrinks by removing one element at a time (never below the minimum
+    /// length), then by shrinking individual elements in place.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut candidates = Vec::new();
+        if value.len() > self.size.start {
+            for drop in 0..value.len() {
+                let mut shorter = value.clone();
+                shorter.remove(drop);
+                candidates.push(shorter);
+            }
+        }
+        for (index, element) in value.iter().enumerate() {
+            for smaller in self.element.shrink(element) {
+                let mut shrunk = value.clone();
+                shrunk[index] = smaller;
+                candidates.push(shrunk);
+            }
+        }
+        candidates
     }
 }

@@ -10,11 +10,16 @@
 //!   strategies (`"[a-z]{1,3}"`), and [`prop_oneof!`],
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
 //!
-//! Differences from the real `proptest`: no shrinking and no counterexample
-//! echo (a failing case panics with the assertion message only, but
-//! generation is deterministic — seeded from the test name, perturbable with
-//! `PROPTEST_SHIM_SEED` — so rerunning reproduces the failure exactly), and
-//! string strategies support only the `[class]{m,n}`-style patterns the
+//! Failing cases are **shrunk** with a simple greedy pass (halving toward the
+//! lower bound for ranges, element removal for vecs, component-at-a-time for
+//! tuples, `Some` → `None` for options) and the minimized counterexample is
+//! printed with the failure. Generation is deterministic — seeded from the
+//! test name, perturbable with `PROPTEST_SHIM_SEED` — so rerunning reproduces
+//! the failure exactly.
+//!
+//! Differences from the real `proptest`: `prop_map`-ped and `prop_oneof!`
+//! strategies do not shrink through the mapping (the map is not invertible),
+//! and string strategies support only the `[class]{m,n}`-style patterns the
 //! workspace uses rather than full regex syntax.
 
 #![forbid(unsafe_code)]
@@ -135,6 +140,70 @@ macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
 }
 
+/// Pins a test-body closure's argument type to the value type of `_strategy`,
+/// so the [`proptest!`] macro does not need to spell that type out. Not part
+/// of the public API.
+#[doc(hidden)]
+pub fn __typed_body<S: Strategy, F: Fn(S::Value)>(_strategy: &S, body: F) -> F {
+    body
+}
+
+/// Runs one test case body against `value`, converting a panic into an `Err`
+/// carrying the panic message. Used by the [`proptest!`] machinery; not part
+/// of the public API.
+#[doc(hidden)]
+pub fn __check_case<V: Clone, F: Fn(V)>(value: &V, body: &F) -> Result<(), String> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value.clone())));
+    result.map_err(|payload| {
+        if let Some(message) = payload.downcast_ref::<&str>() {
+            (*message).to_owned()
+        } else if let Some(message) = payload.downcast_ref::<String>() {
+            message.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        }
+    })
+}
+
+/// Greedily minimizes a failing input: repeatedly replaces it with the first
+/// shrink candidate that still fails, until no candidate fails (or the step
+/// budget runs out). The default panic hook is silenced while candidates run
+/// so the shrink search does not spam the test output. Returns the minimized
+/// value and the number of successful shrink steps. Not part of the public
+/// API.
+#[doc(hidden)]
+pub fn __shrink_failure<S, F>(strategy: &S, initial: S::Value, body: &F) -> (S::Value, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value),
+{
+    const MAX_STEPS: usize = 2048;
+    // The panic hook is process-global and `cargo test` is multi-threaded:
+    // serialize every shrink phase behind one lock so concurrent shrinkers
+    // cannot interleave take_hook/set_hook pairs and leave the silent hook
+    // installed for the rest of the run.
+    static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = HOOK_GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut current = initial;
+    let mut steps = 0;
+    'search: while steps < MAX_STEPS {
+        for candidate in strategy.shrink(&current) {
+            if __check_case(&candidate, body).is_err() {
+                current = candidate;
+                steps += 1;
+                continue 'search;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(saved_hook);
+    drop(guard);
+    (current, steps)
+}
+
 /// Chooses uniformly among several strategies with the same value type,
 /// mirroring `proptest::prop_oneof!`.
 #[macro_export]
@@ -150,8 +219,9 @@ macro_rules! prop_oneof {
 ///
 /// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
 /// samples the strategies `config.cases` times and runs the body. A failing
-/// assertion panics; inputs are not shrunk, but generation is deterministic,
-/// so rerunning the test reproduces the failure exactly.
+/// case is greedily shrunk (see the crate docs) and the test panics with the
+/// minimized counterexample; generation is deterministic, so rerunning the
+/// test reproduces the failure exactly.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -176,10 +246,23 @@ macro_rules! __proptest_tests {
                 // Build the strategies once; tuples of strategies are
                 // themselves a strategy, sampled left to right each case.
                 let __strategies = ($($strategy,)+);
-                for case in 0..config.cases {
-                    let ($($arg,)+) = $crate::Strategy::sample(&__strategies, &mut rng);
-                    let _ = case;
+                let __body = $crate::__typed_body(&__strategies, |__case| {
+                    let ($($arg,)+) = __case;
                     $body
+                });
+                for case in 0..config.cases {
+                    let __sampled = $crate::Strategy::sample(&__strategies, &mut rng);
+                    if let Err(__message) = $crate::__check_case(&__sampled, &__body) {
+                        let (__minimal, __steps) =
+                            $crate::__shrink_failure(&__strategies, __sampled.clone(), &__body);
+                        panic!(
+                            "proptest case {case} failed: {__message}\n\
+                             minimized counterexample (after {__steps} shrink steps): {__minimal:?}\n\
+                             original failing input: {__sampled:?}\n\
+                             (generation is deterministic; rerun the test to reproduce, \
+                             or perturb with PROPTEST_SHIM_SEED)"
+                        );
+                    }
                 }
             }
         )*
@@ -229,5 +312,76 @@ mod tests {
         let c = crate::test_rng("y").next_u64();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_shrink_halves_toward_the_lower_bound() {
+        let candidates = Strategy::shrink(&(10u32..100), &97);
+        assert_eq!(candidates, vec![10, 53]);
+        assert!(Strategy::shrink(&(10u32..100), &10).is_empty());
+        let floats = Strategy::shrink(&(0.0f64..8.0), &8.0);
+        assert_eq!(floats, vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn vec_shrink_removes_one_element_at_a_time() {
+        let strategy = crate::collection::vec(0u8..10, 2..6);
+        let candidates = strategy.shrink(&vec![1, 5, 9]);
+        // Three removals first, then per-element shrinks.
+        assert_eq!(candidates[0], vec![5, 9]);
+        assert_eq!(candidates[1], vec![1, 9]);
+        assert_eq!(candidates[2], vec![1, 5]);
+        assert!(candidates[3..].iter().all(|c| c.len() == 3));
+        // At the minimum length only element shrinks remain.
+        assert!(strategy.shrink(&vec![0, 0]).iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strategy = (0u8..10, 0u8..10);
+        let candidates = strategy.shrink(&(8, 6));
+        assert!(candidates.contains(&(0, 6)));
+        assert!(candidates.contains(&(4, 6)));
+        assert!(candidates.contains(&(8, 0)));
+        assert!(candidates.contains(&(8, 3)));
+        assert_eq!(candidates.len(), 4);
+    }
+
+    #[test]
+    fn option_shrink_tries_none_first() {
+        let strategy = crate::option::of(0u8..10);
+        assert_eq!(strategy.shrink(&Some(8)), vec![None, Some(0), Some(4)]);
+        assert!(strategy.shrink(&None).is_empty());
+    }
+
+    #[test]
+    fn shrink_driver_minimizes_a_failing_range_input() {
+        // The property "value < 10" fails for anything >= 10; greedy halving
+        // from 97 must land close to the boundary without crossing it.
+        let strategy = 0u32..100;
+        let body = |value: u32| assert!(value < 10, "too big: {value}");
+        assert!(crate::__check_case(&97, &body).is_err());
+        let (minimal, steps) = crate::__shrink_failure(&strategy, 97, &body);
+        assert!(minimal >= 10, "shrunk value must still fail, got {minimal}");
+        assert!(minimal <= 24, "halving from 97 should get near 10, got {minimal}");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_driver_minimizes_vec_length() {
+        // Fails whenever the vec has 3+ elements: shrinking must reach 3.
+        let strategy = crate::collection::vec(0u8..200, 0..10);
+        let body = |v: Vec<u8>| assert!(v.len() < 3);
+        let (minimal, _) =
+            crate::__shrink_failure(&strategy, vec![9, 8, 7, 6, 5, 4, 3], &body);
+        assert_eq!(minimal.len(), 3);
+    }
+
+    #[test]
+    fn check_case_reports_the_panic_message() {
+        let body = |value: u8| assert!(value == 0, "value was {value}");
+        assert_eq!(crate::__check_case(&0, &body), Ok(()));
+        let message = crate::__check_case(&7, &body).unwrap_err();
+        assert!(message.contains("value was 7"), "got {message:?}");
     }
 }

@@ -26,4 +26,14 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             Some(self.inner.sample(rng))
         }
     }
+
+    /// Shrinks `Some(v)` to `None` first, then to `Some` of `v`'s shrinks.
+    fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(inner) => std::iter::once(None)
+                .chain(self.inner.shrink(inner).into_iter().map(Some))
+                .collect(),
+        }
+    }
 }

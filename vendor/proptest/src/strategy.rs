@@ -4,7 +4,7 @@ use crate::{Arbitrary, TestRng};
 use rand::Rng;
 
 /// A recipe for generating random values, mirroring
-/// `proptest::strategy::Strategy` (without shrinking).
+/// `proptest::strategy::Strategy` (with simple shrinking).
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
@@ -12,7 +12,20 @@ pub trait Strategy {
     /// Generates one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes "smaller" candidates for a failing `value`, most aggressive
+    /// first. The default is no shrinking; range strategies halve toward
+    /// their lower bound, vec strategies drop one element at a time, and
+    /// tuples shrink one component at a time. Candidates need not fail — the
+    /// shrink driver re-runs the test body on each and keeps only those that
+    /// still do.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`, mirroring `prop_map`.
+    ///
+    /// Mapped strategies do not shrink (the map is not invertible).
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -28,12 +41,18 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     type Value = S::Value;
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -101,6 +120,25 @@ impl<V> Strategy for Union<V> {
     }
 }
 
+/// Halving candidates between `low` (the shrink target) and a failing `value`:
+/// first the lower bound itself, then the midpoint. Yields nothing once the
+/// midpoint can no longer make progress, so the shrink loop terminates.
+macro_rules! halve_toward {
+    ($t:ty, $low:expr, $value:expr) => {{
+        let low = $low;
+        let value = $value;
+        let mut candidates = Vec::new();
+        if value > low {
+            candidates.push(low);
+            let mid = low + (value - low) / (2 as $t);
+            if mid != low && mid != value {
+                candidates.push(mid);
+            }
+        }
+        candidates
+    }};
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -108,11 +146,17 @@ macro_rules! impl_range_strategy {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halve_toward!($t, self.start, *value)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halve_toward!($t, *self.start(), *value)
             }
         }
     )*};
@@ -121,24 +165,37 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.sample(rng),)+)
+                ($(self.$idx.sample(rng),)+)
+            }
+            /// Shrinks one component at a time, holding the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut candidates = Vec::new();
+                $(
+                    for component in self.$idx.shrink(&value.$idx) {
+                        let mut shrunk = value.clone();
+                        shrunk.$idx = component;
+                        candidates.push(shrunk);
+                    }
+                )+
+                candidates
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
 /// String-pattern strategies: `&str` generates strings matching a small
 /// regex subset — literals, character classes like `[a-z0-9]`, and the
