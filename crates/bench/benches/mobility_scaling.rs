@@ -1,0 +1,74 @@
+//! Scaling of the per-tick mobility advance: dirty-tick skip vs. naive scan.
+//!
+//! Builds mostly-paused random-waypoint populations of 250/1000/4000 nodes
+//! (short legs, 30 s pauses, so ~80% of the nodes are idle at any tick) and
+//! measures a full world run of a traffic-free scenario — the run cost is
+//! dominated by the 240 mobility ticks. The dirty-tick path advances only
+//! nodes whose movement state can change this tick and skips paused nodes
+//! entirely; the naive reference path advances every node on every tick. At
+//! 1000+ nodes the dirty-tick path must win clearly (see
+//! `BENCH_BASELINE.json` for captured numbers); reports stay bit-identical
+//! (pinned by `tests/mobility_equivalence.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frugal::FloodingPolicy;
+use manet_sim::{MobilityKind, ProtocolKind, Scenario, ScenarioBuilder, WorldArena};
+use mobility::Area;
+use netsim::RadioConfig;
+use simkit::SimDuration;
+
+/// A mobility-dominated scenario: no publications, simple flooding (one
+/// quiet 1 Hz timer per node, no heartbeats), and a fine 50 ms mobility tick,
+/// so the event loop is almost exclusively mobility advances (1200 ticks over
+/// 60 s of virtual time, 20 ticks per timer event).
+fn mostly_paused(nodes: usize) -> Scenario {
+    ScenarioBuilder::new()
+        .label("mobility-scaling")
+        .protocol(ProtocolKind::Flooding(FloodingPolicy::Simple))
+        .nodes(nodes)
+        .subscriber_fraction(1.0)
+        .mobility(MobilityKind::RandomWaypoint {
+            area: Area::square(250.0),
+            speed_min: 20.0,
+            speed_max: 30.0,
+            pause: SimDuration::from_secs(30),
+        })
+        .radio(RadioConfig::ideal(100.0))
+        .timing(SimDuration::from_secs(1), SimDuration::from_secs(60))
+        .publications(vec![])
+        .mobility_tick(SimDuration::from_millis(50))
+        .build()
+        .expect("static scenario is valid")
+}
+
+fn bench_mobility_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobility_scaling");
+    for &nodes in &[250usize, 1000, 4000] {
+        let scenario = mostly_paused(nodes);
+        // Both sides recycle world setup through an arena, so the measured
+        // difference is the per-tick advance cost alone.
+        let mut arena = WorldArena::new();
+        let mut seed = 0u64;
+        group.bench_function(format!("dirty/{nodes}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                let world = arena.checkout(&scenario, seed).expect("valid scenario");
+                world.run_mut().nodes.len()
+            });
+        });
+        let mut arena = WorldArena::new();
+        let mut seed = 0u64;
+        group.bench_function(format!("naive/{nodes}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                let world = arena.checkout(&scenario, seed).expect("valid scenario");
+                world.set_naive_mobility(true);
+                world.run_mut().nodes.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mobility_scaling);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Per-seed world setup: fresh `World::new` vs. arena-recycled `World::reset`.
+//!
+//! Sweeping thousands of seeds re-runs one scenario with nothing but the seed
+//! changing, so everything `World::new` allocates — node vector, spatial-grid
+//! buckets, traffic counters, event queue, frame/publication records — plus
+//! the per-seed `Scenario` clone is pure churn. This bench measures one short
+//! seed run (setup-dominated: 500 nodes, 2 s of virtual time) both ways: the
+//! `fresh` path mirrors the pre-arena runner (clone + `World::new` per seed),
+//! the `arena` path is what the runner's workers do now
+//! (`WorldArena::checkout` + `run_mut`). Arena reuse must win (see
+//! `BENCH_BASELINE.json`); reports stay bit-identical (pinned by
+//! `tests/integration_determinism.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frugal::FloodingPolicy;
+use manet_sim::{MobilityKind, ProtocolKind, Scenario, ScenarioBuilder, World, WorldArena};
+use mobility::Area;
+use netsim::RadioConfig;
+use simkit::SimDuration;
+
+/// A setup-dominated scenario: many nodes, one second of virtual time, no
+/// publications and no heartbeat timers (flooding protocol), so per-seed cost
+/// is almost entirely world construction.
+fn short_scenario() -> Scenario {
+    ScenarioBuilder::new()
+        .label("world-reuse")
+        .protocol(ProtocolKind::Flooding(FloodingPolicy::Simple))
+        .nodes(500)
+        .subscriber_fraction(0.8)
+        .mobility(MobilityKind::RandomWaypoint {
+            area: Area::square(4000.0),
+            speed_min: 5.0,
+            speed_max: 15.0,
+            pause: SimDuration::from_secs(1),
+        })
+        .radio(RadioConfig::ideal(150.0))
+        .timing(SimDuration::ZERO, SimDuration::from_secs(1))
+        .publications(vec![])
+        .mobility_tick(SimDuration::from_millis(500))
+        .build()
+        .expect("static scenario is valid")
+}
+
+fn bench_world_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_reuse");
+    let scenario = short_scenario();
+
+    // Pre-arena runner behaviour: clone the scenario and build a world from
+    // scratch for every seed.
+    let mut seed = 0u64;
+    group.bench_function("fresh/500", |b| {
+        b.iter(|| {
+            seed += 1;
+            World::new(scenario.clone(), seed)
+                .expect("valid scenario")
+                .run()
+                .nodes
+                .len()
+        });
+    });
+
+    // Arena path: the previous seed's allocations are recycled.
+    let mut arena = WorldArena::new();
+    let mut seed = 0u64;
+    group.bench_function("arena/500", |b| {
+        b.iter(|| {
+            seed += 1;
+            arena
+                .checkout(&scenario, seed)
+                .expect("valid scenario")
+                .run_mut()
+                .nodes
+                .len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_reuse);
+criterion_main!(benches);

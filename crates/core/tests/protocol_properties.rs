@@ -20,7 +20,9 @@ use simkit::{SimDuration, SimTime};
 use std::collections::HashSet;
 
 /// The scripted inputs the fuzzer can feed to a protocol instance.
-#[derive(Debug, Clone)]
+/// (`PartialEq` feeds the proptest shim's value-keyed `prop_oneof!` arm
+/// tracking, which is what lets failing scripts shrink within the right arm.)
+#[derive(Debug, Clone, PartialEq)]
 enum Step {
     Subscribe(u8),
     Unsubscribe(u8),

@@ -9,7 +9,7 @@
 
 use crate::report::{ExperimentPoint, RunReport};
 use crate::scenario::{Scenario, ScenarioError};
-use crate::world::World;
+use crate::world::WorldArena;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -117,15 +117,36 @@ pub fn run_scenario_reports_with_progress<F>(
 where
     F: Fn(SeedProgress<'_>) + Sync,
 {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_scenario_reports_with_workers(scenario, plan, workers, on_seed)
+}
+
+/// Like [`run_scenario_reports_with_progress`], but with an explicit number of
+/// worker threads (clamped to at least 1 and at most one per seed). Reports
+/// are identical for every worker count — seeds fully determine runs and each
+/// worker recycles its own world arena — which the integration determinism
+/// suite pins across 1, 2 and `available_parallelism()` workers.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the scenario fails validation.
+pub fn run_scenario_reports_with_workers<F>(
+    scenario: &Scenario,
+    plan: SeedPlan,
+    workers: usize,
+    on_seed: F,
+) -> Result<Vec<RunReport>, ScenarioError>
+where
+    F: Fn(SeedProgress<'_>) + Sync,
+{
     scenario.validate()?;
     let seeds: Vec<u64> = plan.seeds().collect();
     if seeds.is_empty() {
         return Ok(Vec::new());
     }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(seeds.len());
+    let workers = workers.max(1).min(seeds.len());
     // Chunks small enough that slow seeds cannot serialize the tail of the
     // sweep, large enough that the atomic counter is touched rarely.
     let chunk_size = (seeds.len() / (workers * 4)).max(1);
@@ -136,25 +157,31 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = next_chunk.fetch_add(chunk_size, Ordering::Relaxed);
-                if start >= seeds.len() {
-                    break;
-                }
-                let end = (start + chunk_size).min(seeds.len());
-                for index in start..end {
-                    let seed = seeds[index];
-                    let world = World::new(scenario.clone(), seed)
-                        .expect("scenario validated before spawning workers");
-                    let report = world.run();
-                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                    on_seed(SeedProgress {
-                        seed,
-                        completed: done,
-                        total: seeds.len(),
-                        report: &report,
-                    });
-                    results.lock()[index] = Some(report);
+            scope.spawn(|| {
+                // One arena per worker: every seed after the first reuses the
+                // previous world's allocations instead of rebuilding them.
+                let mut arena = WorldArena::new();
+                loop {
+                    let start = next_chunk.fetch_add(chunk_size, Ordering::Relaxed);
+                    if start >= seeds.len() {
+                        break;
+                    }
+                    let end = (start + chunk_size).min(seeds.len());
+                    for index in start..end {
+                        let seed = seeds[index];
+                        let world = arena
+                            .checkout(scenario, seed)
+                            .expect("scenario validated before spawning workers");
+                        let report = world.run_mut();
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        on_seed(SeedProgress {
+                            seed,
+                            completed: done,
+                            total: seeds.len(),
+                            report: &report,
+                        });
+                        results.lock()[index] = Some(report);
+                    }
                 }
             });
         }
@@ -171,6 +198,7 @@ where
 mod tests {
     use super::*;
     use crate::scenario::{MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder};
+    use crate::world::World;
     use frugal::ProtocolConfig;
     use mobility::Area;
     use netsim::RadioConfig;
@@ -257,6 +285,23 @@ mod tests {
             let solo = World::new(scenario.clone(), 1 + offset as u64).unwrap().run();
             assert_eq!(*report, solo, "pooled seed {} diverged", report.seed);
         }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_reports() {
+        let scenario = tiny_scenario();
+        let sequential =
+            run_scenario_reports_with_workers(&scenario, SeedPlan::new(1, 6), 1, |_| {}).unwrap();
+        for workers in [2usize, 3, 64] {
+            let pooled =
+                run_scenario_reports_with_workers(&scenario, SeedPlan::new(1, 6), workers, |_| {})
+                    .unwrap();
+            assert_eq!(pooled, sequential, "{workers} workers diverged");
+        }
+        // Zero workers is clamped to one rather than hanging.
+        let clamped =
+            run_scenario_reports_with_workers(&scenario, SeedPlan::new(1, 2), 0, |_| {}).unwrap();
+        assert_eq!(clamped.len(), 2);
     }
 
     #[test]

@@ -31,6 +31,13 @@ struct SimNode {
     rng: SimRng,
     /// `true` if this node subscribes to the measured topic.
     subscriber: bool,
+    /// Virtual time of this node's last mobility advance (dirty-tick
+    /// bookkeeping: skipped nodes are caught up from here).
+    last_advance: SimTime,
+    /// Earliest virtual time at which this node's movement state can change.
+    /// While the node is not moving, ticks strictly before `wake` are skipped
+    /// entirely — no advance, no grid update, no RNG draw.
+    wake: SimTime,
 }
 
 /// A broadcast waiting to go on (or currently on) the air.
@@ -90,6 +97,11 @@ pub struct World {
     warmup_traffic: Option<Vec<TrafficCounters>>,
     /// Wire-size accounting configuration (heartbeat size, header size, ...).
     sizing: ProtocolConfig,
+    /// When `true`, mobility ticks use the pre-dirty-tick reference path that
+    /// advances every node unconditionally. Kept (like
+    /// `RadioMedium::complete_transmission_brute`) for equivalence tests and
+    /// the `mobility_scaling` benchmark.
+    naive_mobility: bool,
 }
 
 impl World {
@@ -100,24 +112,79 @@ impl World {
     /// Returns a [`ScenarioError`] if the scenario fails validation.
     pub fn new(scenario: Scenario, seed: u64) -> Result<Self, ScenarioError> {
         scenario.validate()?;
+        let medium = RadioMedium::new(scenario.radio.clone(), scenario.node_count);
+        let sizing = match &scenario.protocol {
+            ProtocolKind::Frugal(config) => config.clone(),
+            ProtocolKind::Flooding(_) => ProtocolConfig::paper_default(),
+        };
+        let end = SimTime::ZERO + scenario.duration;
+        let mut world = World {
+            seed,
+            now: SimTime::ZERO,
+            end,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            medium,
+            timers: HashMap::new(),
+            frames: Vec::new(),
+            mac_rng: SimRng::seed_from(seed).derive(0xBEEF).derive(7),
+            published: Vec::new(),
+            warmup_metrics: None,
+            warmup_traffic: None,
+            sizing,
+            scenario,
+            naive_mobility: false,
+        };
+        world.populate(seed);
+        Ok(world)
+    }
+
+    /// Re-initializes this world for a fresh run of the **same scenario** with
+    /// a different `seed`, recycling every recyclable allocation: the node
+    /// vector, the medium's spatial-grid buckets, traffic counters and
+    /// transmission slab, the event queue, the timer table, and the frame and
+    /// publication records. A reset world produces a report bit-identical to
+    /// `World::new(scenario, seed)` — that equivalence is pinned by the
+    /// integration determinism suite.
+    ///
+    /// Use through [`WorldArena`] when sweeping thousands of seeds.
+    pub fn reset(&mut self, seed: u64) {
+        self.seed = seed;
+        self.now = SimTime::ZERO;
+        self.end = SimTime::ZERO + self.scenario.duration;
+        self.queue.clear();
+        self.timers.clear();
+        self.frames.clear();
+        self.published.clear();
+        self.warmup_metrics = None;
+        self.warmup_traffic = None;
+        self.mac_rng = SimRng::seed_from(seed).derive(0xBEEF).derive(7);
+        self.medium.reset();
+        self.populate(seed);
+    }
+
+    /// Builds the per-seed state — nodes, initial positions, and the initial
+    /// event schedule — exactly the same way for a fresh world and a reset
+    /// one. Expects `queue`/`timers`/`frames`/`published` empty, `medium`
+    /// counters zeroed, and `mac_rng` freshly derived for `seed`.
+    fn populate(&mut self, seed: u64) {
         let master = SimRng::seed_from(seed);
         let mut layout_rng = master.derive(0xA11);
-        let mac_rng = master.derive(0xBEEF);
-        let n = scenario.node_count;
+        let n = self.scenario.node_count;
 
         // Choose which nodes subscribe to the measured topic.
-        let subscriber_count = scenario.subscriber_count().min(n);
+        let subscriber_count = self.scenario.subscriber_count().min(n);
         let subscriber_indices: std::collections::HashSet<usize> = layout_rng
             .choose_indices(n, subscriber_count)
             .into_iter()
             .collect();
 
         // Build the nodes: protocol + mobility + private RNG stream.
-        let mut nodes = Vec::with_capacity(n);
-        let mut positions = Vec::with_capacity(n);
+        self.nodes.clear();
+        self.nodes.reserve(n);
         for index in 0..n {
             let mut node_rng = master.derive(1000 + index as u64);
-            let mobility: BoxedMobility = match &scenario.mobility {
+            let mobility: BoxedMobility = match &self.scenario.mobility {
                 MobilityKind::RandomWaypoint {
                     area,
                     speed_min,
@@ -140,7 +207,7 @@ impl World {
                     Box::new(Stationary::new(Point::new(index as f64 * spacing, 0.0)))
                 }
             };
-            let protocol: Box<dyn DisseminationProtocol> = match &scenario.protocol {
+            let protocol: Box<dyn DisseminationProtocol> = match &self.scenario.protocol {
                 ProtocolKind::Frugal(config) => {
                     Box::new(FrugalProtocol::new(ProcessId(index as u64), config.clone()))
                 }
@@ -148,69 +215,45 @@ impl World {
                     Box::new(FloodingProtocol::new(ProcessId(index as u64), *policy))
                 }
             };
-            positions.push(mobility.position());
-            nodes.push(SimNode {
+            self.medium.update_position(index, mobility.position());
+            self.nodes.push(SimNode {
                 protocol,
                 mobility,
                 rng: node_rng,
                 subscriber: subscriber_indices.contains(&index),
+                last_advance: SimTime::ZERO,
+                // Everyone is advanced at the first tick: it initializes the
+                // protocol's speed and the per-node wake times.
+                wake: SimTime::ZERO,
             });
         }
 
-        let sizing = match &scenario.protocol {
-            ProtocolKind::Frugal(config) => config.clone(),
-            ProtocolKind::Flooding(_) => ProtocolConfig::paper_default(),
-        };
-
-        let medium = RadioMedium::with_positions(scenario.radio.clone(), &positions);
-        let end = SimTime::ZERO + scenario.duration;
-        let mut world = World {
-            seed,
-            now: SimTime::ZERO,
-            end,
-            queue: EventQueue::new(),
-            nodes,
-            medium,
-            timers: HashMap::new(),
-            frames: Vec::new(),
-            mac_rng: mac_rng.derive(7),
-            published: Vec::new(),
-            warmup_metrics: None,
-            warmup_traffic: None,
-            sizing,
-            scenario,
-        };
-
         // Stagger the initial subscriptions over one heartbeat period so the
         // network does not start with every node beaconing in the same slot.
-        let stagger_window = world
+        let stagger_window = self
             .sizing
             .hb_upper_bound
             .max(simkit::SimDuration::from_millis(200));
         for node in 0..n {
-            let offset = world.mac_rng.jitter(stagger_window);
-            world
-                .queue
+            let offset = self.mac_rng.jitter(stagger_window);
+            self.queue
                 .schedule(SimTime::ZERO + offset, WorldEvent::Subscribe { node });
         }
         // Mobility ticks.
-        world.queue.schedule(
-            SimTime::ZERO + world.scenario.mobility_tick,
+        self.queue.schedule(
+            SimTime::ZERO + self.scenario.mobility_tick,
             WorldEvent::MobilityTick,
         );
         // Scheduled publications.
-        for (index, publication) in world.scenario.publications.iter().enumerate() {
-            world
-                .queue
-                .schedule(publication.at, WorldEvent::Publish { index });
+        for index in 0..self.scenario.publications.len() {
+            self.queue
+                .schedule(self.scenario.publications[index].at, WorldEvent::Publish { index });
         }
         // Warm-up boundary.
-        if !world.scenario.warmup.is_zero() {
-            world
-                .queue
-                .schedule(SimTime::ZERO + world.scenario.warmup, WorldEvent::WarmupEnd);
+        if !self.scenario.warmup.is_zero() {
+            self.queue
+                .schedule(SimTime::ZERO + self.scenario.warmup, WorldEvent::WarmupEnd);
         }
-        Ok(world)
     }
 
     /// The current virtual time.
@@ -223,8 +266,23 @@ impl World {
         &self.scenario
     }
 
+    /// Forces the pre-dirty-tick mobility path that advances every node on
+    /// every tick. Semantically identical to the default dirty-tick path (an
+    /// equivalence property test pins this); kept for tests and the
+    /// `mobility_scaling` benchmark. Call before [`World::run`].
+    #[doc(hidden)]
+    pub fn set_naive_mobility(&mut self, naive: bool) {
+        self.naive_mobility = naive;
+    }
+
     /// Runs the simulation to the end of the scenario and returns the report.
     pub fn run(mut self) -> RunReport {
+        self.run_mut()
+    }
+
+    /// Like [`World::run`], but borrows the world so its allocations can be
+    /// recycled afterwards with [`World::reset`].
+    pub fn run_mut(&mut self) -> RunReport {
         while let Some(at) = self.queue.peek_time() {
             if at > self.end {
                 break;
@@ -233,7 +291,7 @@ impl World {
             self.now = at;
             self.dispatch(event);
         }
-        self.into_report()
+        self.report()
     }
 
     fn dispatch(&mut self, event: WorldEvent) {
@@ -249,6 +307,52 @@ impl World {
     }
 
     fn on_mobility_tick(&mut self) {
+        if self.naive_mobility {
+            self.on_mobility_tick_naive();
+            return;
+        }
+        let tick = self.scenario.mobility_tick;
+        let now = self.now;
+        for (index, node) in self.nodes.iter_mut().enumerate() {
+            // Dirty-tick skip: a node that is not moving cannot change
+            // position or draw randomness before its wake time, so ticks
+            // strictly before it are a no-op for this node.
+            if node.wake > now {
+                continue;
+            }
+            // Catch up pause time skipped since the last advance in one exact
+            // chunk (pure integer-millisecond countdown, no RNG), then replay
+            // the current tick exactly as the naive path would. The chunk
+            // cannot cross the pause end: the node would have woken at the
+            // earlier tick otherwise.
+            let skipped = now - node.last_advance;
+            if skipped > tick {
+                node.mobility.advance(skipped - tick, &mut node.rng);
+            }
+            node.mobility.advance(tick, &mut node.rng);
+            node.last_advance = now;
+            let speed = node.mobility.speed();
+            // Moving nodes are advanced every tick (their position changes);
+            // idle nodes sleep until their phase can end. `speed` is already
+            // in the protocol from the tick the node stopped, so skipped ticks
+            // lose nothing.
+            node.wake = if speed > 0.0 {
+                now
+            } else {
+                now.saturating_add(node.mobility.time_to_transition())
+            };
+            self.medium.update_position(index, node.mobility.position());
+            node.protocol.update_speed(Some(speed));
+        }
+        let next = self.now + tick;
+        if next <= self.end {
+            self.queue.schedule(next, WorldEvent::MobilityTick);
+        }
+    }
+
+    /// The pre-dirty-tick reference path: advances every node unconditionally.
+    /// See [`World::set_naive_mobility`].
+    fn on_mobility_tick_naive(&mut self) {
         let tick = self.scenario.mobility_tick;
         for (index, node) in self.nodes.iter_mut().enumerate() {
             node.mobility.advance(tick, &mut node.rng);
@@ -395,9 +499,9 @@ impl World {
         }
     }
 
-    fn into_report(self) -> RunReport {
-        let warmup_metrics = self.warmup_metrics.unwrap_or_default();
-        let warmup_traffic = self.warmup_traffic.unwrap_or_default();
+    fn report(&self) -> RunReport {
+        let warmup_metrics: &[ProtocolMetrics] = self.warmup_metrics.as_deref().unwrap_or(&[]);
+        let warmup_traffic: &[TrafficCounters] = self.warmup_traffic.as_deref().unwrap_or(&[]);
 
         let nodes: Vec<NodeReport> = self
             .nodes
@@ -466,6 +570,49 @@ impl World {
             events,
             nodes,
         }
+    }
+}
+
+/// Recycles one [`World`] across the seeds of a sweep.
+///
+/// `World::new` rebuilds every vector, hash map and grid bucket from scratch;
+/// over a multi-thousand-seed sweep that allocation churn dominates short
+/// scenarios. An arena keeps the previous seed's world and [`World::reset`]s
+/// it for the next seed instead, recycling the node vector, the medium's grid
+/// buckets and counters, the event queue and the frame/publication records.
+/// The runner keeps one arena per worker thread.
+///
+/// Reports are unaffected: a recycled world is bit-identical to a fresh one
+/// (pinned by the integration determinism suite).
+#[derive(Debug, Default)]
+pub struct WorldArena {
+    world: Option<World>,
+}
+
+impl WorldArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        WorldArena { world: None }
+    }
+
+    /// Returns a world ready to run `(scenario, seed)`, reusing the previous
+    /// world's allocations when the scenario is unchanged (the common case in
+    /// a seed sweep) and building a fresh world otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if a fresh world has to be built and the
+    /// scenario fails validation.
+    pub fn checkout(
+        &mut self,
+        scenario: &Scenario,
+        seed: u64,
+    ) -> Result<&mut World, ScenarioError> {
+        match &mut self.world {
+            Some(world) if world.scenario() == scenario => world.reset(seed),
+            slot => *slot = Some(World::new(scenario.clone(), seed)?),
+        }
+        Ok(self.world.as_mut().expect("checkout just filled the slot"))
     }
 }
 
@@ -643,5 +790,92 @@ mod tests {
         let mut scenario = small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
         scenario.node_count = 0;
         assert!(World::new(scenario, 1).is_err());
+    }
+
+    /// A pause-heavy scenario where the dirty-tick path actually skips nodes.
+    fn pause_heavy_scenario() -> Scenario {
+        ScenarioBuilder::new()
+            .label("pause-heavy")
+            .nodes(10)
+            .subscriber_fraction(1.0)
+            .mobility(MobilityKind::RandomWaypoint {
+                area: Area::square(150.0),
+                speed_min: 20.0,
+                speed_max: 30.0,
+                pause: SimDuration::from_secs(12),
+            })
+            .radio(RadioConfig::ideal(120.0))
+            .timing(SimDuration::from_secs(3), SimDuration::from_secs(40))
+            .publications(vec![Publication {
+                publisher: PublisherChoice::Node(1),
+                topic: ".news.local".parse().unwrap(),
+                at: SimTime::from_secs(4),
+                validity: SimDuration::from_secs(30),
+                payload_bytes: 400,
+            }])
+            .mobility_tick(SimDuration::from_millis(500))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dirty_tick_mobility_matches_the_naive_reference() {
+        for seed in [1u64, 2, 3] {
+            let dirty = World::new(pause_heavy_scenario(), seed).unwrap().run();
+            let mut naive_world = World::new(pause_heavy_scenario(), seed).unwrap();
+            naive_world.set_naive_mobility(true);
+            let naive = naive_world.run();
+            assert_eq!(dirty, naive, "dirty-tick diverged from naive for seed {seed}");
+        }
+        // Stationary nodes are skipped after the first tick; reports must
+        // still match the advance-everyone reference.
+        let stationary = ScenarioBuilder::new()
+            .label("stationary")
+            .nodes(8)
+            .subscriber_fraction(1.0)
+            .mobility(MobilityKind::Stationary {
+                area: Area::square(300.0),
+            })
+            .radio(RadioConfig::ideal(200.0))
+            .timing(SimDuration::from_secs(2), SimDuration::from_secs(20))
+            .publications(vec![])
+            .build()
+            .unwrap();
+        let dirty = World::new(stationary.clone(), 5).unwrap().run();
+        let mut naive_world = World::new(stationary, 5).unwrap();
+        naive_world.set_naive_mobility(true);
+        assert_eq!(dirty, naive_world.run());
+    }
+
+    #[test]
+    fn reset_world_reproduces_fresh_world_reports() {
+        let scenario = small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        let mut reused = World::new(scenario.clone(), 1).unwrap();
+        let _ = reused.run_mut();
+        for seed in [9u64, 3, 7] {
+            reused.reset(seed);
+            let recycled = reused.run_mut();
+            let fresh = World::new(scenario.clone(), seed).unwrap().run();
+            assert_eq!(recycled, fresh, "reset world diverged for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn arena_checkout_recycles_across_seeds_and_scenarios() {
+        let frugal = small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        let flooding = small_scenario(ProtocolKind::Flooding(FloodingPolicy::Simple));
+        let mut arena = WorldArena::new();
+        // Same scenario: second checkout reuses the first world.
+        let a = arena.checkout(&frugal, 4).unwrap().run_mut();
+        let b = arena.checkout(&frugal, 5).unwrap().run_mut();
+        assert_eq!(a, World::new(frugal.clone(), 4).unwrap().run());
+        assert_eq!(b, World::new(frugal.clone(), 5).unwrap().run());
+        // Scenario switch: the arena rebuilds and still matches fresh runs.
+        let c = arena.checkout(&flooding, 4).unwrap().run_mut();
+        assert_eq!(c, World::new(flooding, 4).unwrap().run());
+        // Invalid scenarios surface their error through checkout.
+        let mut broken = frugal;
+        broken.node_count = 0;
+        assert!(arena.checkout(&broken, 1).is_err());
     }
 }

@@ -526,6 +526,19 @@ impl MobilityModel for CitySection {
         }
     }
 
+    fn time_to_transition(&self) -> SimDuration {
+        match &self.drive {
+            Drive::Moving { route, next, speed } => {
+                if *speed <= 0.0 {
+                    return SimDuration::MAX;
+                }
+                let target = self.config.map.intersection(route[*next]);
+                SimDuration::from_secs_f64(self.position.distance(target) / *speed)
+            }
+            Drive::Paused { remaining, .. } => *remaining,
+        }
+    }
+
     fn advance(&mut self, dt: SimDuration, rng: &mut SimRng) {
         let mut remaining_secs = dt.as_secs_f64();
         while remaining_secs > 1e-9 {
@@ -742,6 +755,35 @@ mod tests {
         let node = CitySection::from_intersection(config.clone(), 7, &mut rng);
         assert_eq!(node.position(), config.map.intersection(7));
         assert_eq!(node.last_intersection(), 7);
+    }
+
+    #[test]
+    fn transition_time_tracks_the_drive_state() {
+        let config = CitySectionConfig::paper_campus();
+        let mut rng = SimRng::seed_from(29);
+        let mut node = CitySection::new(config, &mut rng);
+        // Freshly planned trip: moving towards the next intersection.
+        let speed = node.speed();
+        assert!(speed > 0.0);
+        let expected_secs = node.time_to_transition().as_secs_f64();
+        // The first leg of a campus route is at most one block (300 m at the
+        // map's diagonal-free grid) away.
+        assert!(expected_secs > 0.0 && expected_secs <= 300.0 / 8.0 + 1.0);
+        // Drive until a pause happens; the transition time must then equal the
+        // remaining pause and count down under advance.
+        for _ in 0..10_000 {
+            node.advance(SimDuration::from_millis(250), &mut rng);
+            if node.speed() == 0.0 {
+                break;
+            }
+        }
+        assert_eq!(node.speed(), 0.0, "30% stop probability must pause eventually");
+        let before = node.time_to_transition();
+        assert!(before > SimDuration::ZERO);
+        node.advance(SimDuration::from_millis(100), &mut rng);
+        if node.speed() == 0.0 {
+            assert_eq!(node.time_to_transition(), before - SimDuration::from_millis(100));
+        }
     }
 
     #[test]

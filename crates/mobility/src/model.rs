@@ -26,6 +26,26 @@ pub trait MobilityModel: Debug + Send {
     /// Implementations must be deterministic functions of their internal state
     /// and of the values drawn from `rng`.
     fn advance(&mut self, dt: SimDuration, rng: &mut SimRng);
+
+    /// How long until the model's movement state can next change: the time to
+    /// the next waypoint arrival, pause end, or intersection arrival —
+    /// whatever ends the current phase. [`SimDuration::MAX`] means the state
+    /// never changes again (a stationary or permanently parked process).
+    ///
+    /// This is the hook behind the simulator's *dirty-tick* mobility advance:
+    /// while [`MobilityModel::speed`] is zero, the position cannot change and
+    /// no randomness is drawn until this much time has elapsed, so the
+    /// simulation loop may skip [`MobilityModel::advance`] entirely for up to
+    /// this long and later catch the model up in one chunked call — with
+    /// bit-identical state and RNG stream. For moving phases the value is the
+    /// straight-line travel-time estimate to the phase boundary; callers must
+    /// still advance moving models every tick (their position changes).
+    ///
+    /// The conservative default of [`SimDuration::ZERO`] disables skipping, so
+    /// models that do not implement the hook are simply advanced every tick.
+    fn time_to_transition(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
 }
 
 /// A boxed mobility model, used when nodes in one simulation mix models.
@@ -55,6 +75,10 @@ impl MobilityModel for Stationary {
     }
 
     fn advance(&mut self, _dt: SimDuration, _rng: &mut SimRng) {}
+
+    fn time_to_transition(&self) -> SimDuration {
+        SimDuration::MAX
+    }
 }
 
 #[cfg(test)]
@@ -77,5 +101,28 @@ mod tests {
     fn stationary_is_object_safe() {
         let boxed: BoxedMobility = Box::new(Stationary::new(Point::ORIGIN));
         assert_eq!(boxed.position(), Point::ORIGIN);
+    }
+
+    #[test]
+    fn stationary_never_transitions() {
+        let m = Stationary::new(Point::ORIGIN);
+        assert_eq!(m.time_to_transition(), SimDuration::MAX);
+    }
+
+    #[test]
+    fn default_transition_hook_is_conservative() {
+        #[derive(Debug)]
+        struct Custom;
+        impl MobilityModel for Custom {
+            fn position(&self) -> Point {
+                Point::ORIGIN
+            }
+            fn speed(&self) -> f64 {
+                0.0
+            }
+            fn advance(&mut self, _dt: SimDuration, _rng: &mut SimRng) {}
+        }
+        // Models without the hook must be advanced every tick.
+        assert_eq!(Custom.time_to_transition(), SimDuration::ZERO);
     }
 }

@@ -154,6 +154,18 @@ impl MobilityModel for RandomWaypoint {
         }
     }
 
+    fn time_to_transition(&self) -> SimDuration {
+        match self.phase {
+            Phase::Moving { waypoint, speed } => {
+                if speed <= 0.0 {
+                    return SimDuration::MAX;
+                }
+                SimDuration::from_secs_f64(self.position.distance(waypoint) / speed)
+            }
+            Phase::Pausing { remaining } => remaining,
+        }
+    }
+
     fn advance(&mut self, dt: SimDuration, rng: &mut SimRng) {
         let mut remaining_secs = dt.as_secs_f64();
         // A single `advance` may span a waypoint arrival and the following pause,
@@ -319,6 +331,60 @@ mod tests {
     #[should_panic]
     fn rejects_inverted_speed_range() {
         let _ = RandomWaypointConfig::new(Area::square(10.0), 5.0, 1.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transition_time_tracks_the_phase() {
+        let mut rng = SimRng::seed_from(21);
+        let config = cfg(10.0, 10.0);
+        let node = RandomWaypoint::from_position(config, Point::new(0.0, 0.0), &mut rng);
+        // Moving: time to the waypoint at 10 m/s.
+        let wp = node.current_waypoint().unwrap();
+        let expected = SimDuration::from_secs_f64(node.position().distance(wp) / 10.0);
+        assert_eq!(node.time_to_transition(), expected);
+        // Parked forever at 0 m/s: never transitions.
+        let mut rng = SimRng::seed_from(21);
+        let parked =
+            RandomWaypoint::new(RandomWaypointConfig::paper_fixed_speed(0.0), &mut rng);
+        assert_eq!(parked.time_to_transition(), SimDuration::MAX);
+    }
+
+    #[test]
+    fn paused_transition_time_counts_down_and_skipping_is_exact() {
+        // Drive a node into a pause, then verify that (a) time_to_transition
+        // reports the remaining pause and (b) catching up the skipped pause
+        // time in one chunked advance is bit-identical (state and RNG stream)
+        // to tick-by-tick advances.
+        let mut rng = SimRng::seed_from(33);
+        let config = RandomWaypointConfig::new(
+            Area::square(50.0),
+            5.0,
+            5.0,
+            SimDuration::from_secs(10),
+        );
+        let mut node = RandomWaypoint::new(config, &mut rng);
+        let tick = SimDuration::from_millis(500);
+        while node.speed() > 0.0 {
+            node.advance(tick, &mut rng);
+        }
+        let remaining = node.time_to_transition();
+        assert!(remaining > SimDuration::ZERO && remaining <= SimDuration::from_secs(10));
+
+        let mut ticked = node.clone();
+        let mut ticked_rng = rng.clone();
+        let mut chunked = node;
+        let mut chunked_rng = rng;
+        // Skip 6 ticks: the naive path advances each one; the dirty path
+        // catches up with one 5-tick chunk followed by the final tick.
+        for _ in 0..6 {
+            ticked.advance(tick, &mut ticked_rng);
+        }
+        chunked.advance(tick * 5, &mut chunked_rng);
+        chunked.advance(tick, &mut chunked_rng);
+        assert_eq!(ticked.position(), chunked.position());
+        assert_eq!(ticked.speed(), chunked.speed());
+        assert_eq!(ticked.time_to_transition(), chunked.time_to_transition());
+        assert_eq!(ticked_rng.uniform_u64(0, u64::MAX), chunked_rng.uniform_u64(0, u64::MAX));
     }
 }
 

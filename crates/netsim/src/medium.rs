@@ -129,6 +129,23 @@ impl RadioMedium {
         medium
     }
 
+    /// Clears all per-run state — traffic counters, the transmission slab and
+    /// its id index — while keeping every allocation (including the spatial
+    /// grid's buckets) for reuse by the next run. Node positions are left as
+    /// they are; callers push the next run's initial positions with
+    /// [`RadioMedium::update_position`] or [`RadioMedium::sync_positions`].
+    ///
+    /// After a reset the medium behaves exactly like a freshly built one:
+    /// transmission ids restart at zero and all counters read zero.
+    pub fn reset(&mut self) {
+        for counters in &mut self.counters {
+            *counters = TrafficCounters::default();
+        }
+        self.transmissions.clear();
+        self.tx_index.clear();
+        self.next_tx = 0;
+    }
+
     /// The radio configuration shared by all nodes.
     pub fn config(&self) -> &RadioConfig {
         &self.config
@@ -563,6 +580,43 @@ mod tests {
         let (tx, _) = medium.begin_transmission(0, 100, SimTime::ZERO);
         medium.complete_transmission(tx, &mut rng);
         medium.complete_transmission(tx, &mut rng);
+    }
+
+    #[test]
+    fn reset_medium_behaves_like_a_fresh_one() {
+        let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (500.0, 0.0)]);
+        let config = RadioConfig {
+            fringe_loss_probability: 0.4,
+            fringe_start_fraction: 0.6,
+            ..RadioConfig::ideal(100.0)
+        };
+        let mut reused = RadioMedium::with_positions(config.clone(), &pos);
+
+        // Dirty the medium with a first run whose positions differ.
+        let mut rng = SimRng::seed_from(9);
+        reused.update_position(1, Point::new(400.0, 300.0));
+        let (tx, _) = reused.begin_transmission(0, 300, SimTime::ZERO);
+        reused.complete_transmission(tx, &mut rng);
+
+        // Reset and replay the exact run a fresh medium would do.
+        reused.reset();
+        reused.sync_positions(&pos);
+        let mut fresh = RadioMedium::with_positions(config, &pos);
+        let mut rng_a = SimRng::seed_from(1);
+        let mut rng_b = SimRng::seed_from(1);
+        let mut now = SimTime::ZERO;
+        for round in 0..20 {
+            let sender = round % 3;
+            let (tx_a, end) = reused.begin_transmission(sender, 400, now);
+            let (tx_b, _) = fresh.begin_transmission(sender, 400, now);
+            assert_eq!(tx_a, tx_b, "transmission ids must restart at zero");
+            assert_eq!(
+                reused.complete_transmission(tx_a, &mut rng_a),
+                fresh.complete_transmission(tx_b, &mut rng_b)
+            );
+            now = end + SimDuration::from_millis(3);
+        }
+        assert_eq!(reused.all_counters(), fresh.all_counters());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use frugal::{FloodingPolicy, ProtocolConfig};
 use manet_sim::{
-    run_scenario_reports, MobilityKind, ProtocolKind, Publication, PublisherChoice,
-    ScenarioBuilder, SeedPlan, World,
+    run_scenario_reports, run_scenario_reports_with_workers, MobilityKind, ProtocolKind,
+    Publication, PublisherChoice, ScenarioBuilder, SeedPlan, World, WorldArena,
 };
 use mobility::{Area, CitySection, CitySectionConfig, MobilityModel, RandomWaypoint, RandomWaypointConfig};
 use netsim::RadioConfig;
@@ -151,6 +151,95 @@ fn grid_medium_reproduces_pre_refactor_reports_seed_for_seed() {
         let got = fingerprint(&World::new(s, seed).unwrap().run());
         assert_eq!(got, expected, "flooding report changed for seed {seed}: {got:#018x}");
     }
+}
+
+/// A city-section scenario tuned to be mobility-heavy: more nodes than the
+/// paper's city experiments and a 250 ms tick, so the mobility advance
+/// dominates the event count. Used to pin the dirty-tick refactor.
+fn mobility_heavy_city() -> manet_sim::Scenario {
+    ScenarioBuilder::city()
+        .label("city-mobility-heavy")
+        .nodes(20)
+        .mobility_tick(SimDuration::from_millis(250))
+        .timing(SimDuration::from_secs(5), SimDuration::from_secs(50))
+        .publications(vec![Publication {
+            publisher: PublisherChoice::Node(2),
+            topic: ".news.local".parse().unwrap(),
+            at: SimTime::from_secs(6),
+            validity: SimDuration::from_secs(40),
+            payload_bytes: 400,
+        }])
+        .build()
+        .unwrap()
+}
+
+/// The dirty-tick mobility advance (PR 3) must reproduce, seed for seed, the
+/// exact reports the advance-every-node-every-tick world produced before the
+/// refactor. These golden fingerprints were captured from the pre-dirty-tick
+/// implementation (commit 6b84094) on a mobility-heavy city-section scenario;
+/// any divergence means tick skipping changed positions, outcomes, or RNG
+/// consumption.
+#[test]
+fn dirty_tick_reproduces_pre_refactor_city_reports_seed_for_seed() {
+    let golden: [(u64, u64); 3] = [
+        (1, 0x407b_9725_18bc_9b7d),
+        (2, 0xe79b_c653_f91b_2a1d),
+        (3, 0x8c0f_eb87_633e_0d9b),
+    ];
+    for (seed, expected) in golden {
+        let got = fingerprint(&World::new(mobility_heavy_city(), seed).unwrap().run());
+        assert_eq!(
+            got, expected,
+            "mobility-heavy city report changed for seed {seed}: {got:#018x}"
+        );
+    }
+}
+
+/// Arena-recycled worlds must reproduce fresh-world reports seed for seed:
+/// `WorldArena::checkout` + `World::reset` may only recycle allocations,
+/// never state.
+#[test]
+fn arena_reused_worlds_reproduce_fresh_reports_seed_for_seed() {
+    let scenarios = [
+        scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()), rw()),
+        mobility_heavy_city(),
+    ];
+    for scenario in scenarios {
+        let mut arena = WorldArena::new();
+        for seed in 1..=5u64 {
+            let recycled = arena.checkout(&scenario, seed).unwrap().run_mut();
+            let fresh = World::new(scenario.clone(), seed).unwrap().run();
+            assert_eq!(
+                fingerprint(&recycled),
+                fingerprint(&fresh),
+                "arena-reused world diverged for {} seed {seed}",
+                scenario.label
+            );
+            assert_eq!(recycled, fresh);
+        }
+    }
+}
+
+/// `run_scenario_reports` output must not depend on the number of worker
+/// threads: 1 worker, 2 workers and the default `available_parallelism()`
+/// pool (all recycling per-worker world arenas) must produce identical,
+/// seed-ordered reports.
+#[test]
+fn runner_reports_are_identical_across_thread_counts() {
+    let s = scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()), rw());
+    let plan = SeedPlan::new(1, 6);
+    let default_pool = run_scenario_reports(&s, plan).unwrap();
+    for workers in [1usize, 2] {
+        let pooled = run_scenario_reports_with_workers(&s, plan, workers, |_| {}).unwrap();
+        assert_eq!(
+            pooled, default_pool,
+            "{workers}-worker run diverged from the default pool"
+        );
+    }
+    assert_eq!(
+        default_pool.iter().map(|r| r.seed).collect::<Vec<_>>(),
+        (1..=6).collect::<Vec<_>>()
+    );
 }
 
 #[test]

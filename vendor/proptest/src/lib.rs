@@ -12,15 +12,19 @@
 //!
 //! Failing cases are **shrunk** with a simple greedy pass (halving toward the
 //! lower bound for ranges, element removal for vecs, component-at-a-time for
-//! tuples, `Some` → `None` for options) and the minimized counterexample is
+//! tuples, `Some` → `None` for options, within-the-failing-arm for
+//! `prop_oneof!` unions, and through the map for
+//! [`Strategy::prop_map_invertible`]) and the minimized counterexample is
 //! printed with the failure. Generation is deterministic — seeded from the
 //! test name, perturbable with `PROPTEST_SHIM_SEED` — so rerunning reproduces
 //! the failure exactly.
 //!
-//! Differences from the real `proptest`: `prop_map`-ped and `prop_oneof!`
-//! strategies do not shrink through the mapping (the map is not invertible),
-//! and string strategies support only the `[class]{m,n}`-style patterns the
-//! workspace uses rather than full regex syntax.
+//! Differences from the real `proptest`: plain `prop_map` strategies do not
+//! shrink through the mapping (the shim's stateless shrinking cannot invert
+//! an arbitrary map — spell the inverse out with
+//! [`Strategy::prop_map_invertible`] to get it), and string strategies
+//! support only the `[class]{m,n}`-style patterns the workspace uses rather
+//! than full regex syntax.
 
 #![forbid(unsafe_code)]
 
@@ -365,6 +369,67 @@ mod tests {
         assert!(minimal >= 10, "shrunk value must still fail, got {minimal}");
         assert!(minimal <= 24, "halving from 97 should get near 10, got {minimal}");
         assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_driver_minimizes_through_invertible_maps() {
+        // Outputs are doubled inputs; the property fails for outputs >= 40.
+        // Greedy halving happens in the *input* domain (via the inverse), so
+        // from 194 the driver walks 194 -> 96 -> 48 and stops: 48's candidates
+        // (0 and 24) both pass.
+        let strategy = (0u32..100).prop_map_invertible(|v| v * 2, |o: &u32| o / 2);
+        let body = |value: u32| assert!(value < 40, "too big: {value}");
+        let (minimal, steps) = crate::__shrink_failure(&strategy, 194, &body);
+        assert_eq!(minimal, 48);
+        assert_eq!(steps, 2);
+    }
+
+    #[test]
+    fn shrink_driver_minimizes_within_the_failing_oneof_arm() {
+        // Arms are disjoint; only arm-1 values (>= 100) fail. Shrinking must
+        // stay inside arm 1 and halve toward its lower bound, reaching the
+        // exact boundary value 100 rather than escaping into arm 0.
+        let strategy = prop_oneof![0u32..10, 100u32..200];
+        let body = |value: u32| assert!(value < 100, "too big: {value}");
+        let mut rng = crate::test_rng("oneof-arm-shrink");
+        let failing = loop {
+            let value = Strategy::sample(&strategy, &mut rng);
+            if value >= 100 {
+                break value;
+            }
+        };
+        let (minimal, _) = crate::__shrink_failure(&strategy, failing, &body);
+        assert_eq!(minimal, 100, "union must shrink within the failing arm");
+    }
+
+    #[test]
+    fn nested_union_shrinks_each_element_within_its_own_arm() {
+        // A union inside `collection::vec` is sampled once per element, so a
+        // single "last sampled arm" flag would attribute every element to the
+        // final element's arm — shrinking a 150 through the 0..10 arm yields
+        // values like 75 that belong to *neither* arm. Value-keyed provenance
+        // must keep every candidate inside a real arm's range.
+        let strategy =
+            crate::collection::vec(prop_oneof![0u32..10, 100u32..200], 2..4);
+        let body = |v: Vec<u32>| assert!(v.iter().all(|&x| x < 100), "big: {v:?}");
+        let mut rng = crate::test_rng("nested-union-shrink");
+        // Find a failing sample whose *last* element comes from the small arm
+        // (the shape that used to mislead the last-arm flag).
+        let failing = loop {
+            let v = Strategy::sample(&strategy, &mut rng);
+            if v.iter().any(|&x| x >= 100) && *v.last().unwrap() < 10 {
+                break v;
+            }
+        };
+        let (minimal, _) = crate::__shrink_failure(&strategy, failing, &body);
+        assert!(
+            minimal
+                .iter()
+                .all(|&x| x < 10 || (100..200).contains(&x)),
+            "shrink escaped both arms: {minimal:?}"
+        );
+        assert!(minimal.contains(&100), "arm-1 elements must reach 100: {minimal:?}");
+        assert_eq!(minimal.len(), 2, "vec must shrink to its minimum length");
     }
 
     #[test]

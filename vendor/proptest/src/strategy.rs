@@ -25,13 +25,37 @@ pub trait Strategy {
 
     /// Maps generated values through `f`, mirroring `prop_map`.
     ///
-    /// Mapped strategies do not shrink (the map is not invertible).
+    /// Plain mapped strategies do not shrink (the shim cannot invert an
+    /// arbitrary map); use [`Strategy::prop_map_invertible`] when an inverse
+    /// is available and shrinking through the map matters.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
+    }
+
+    /// Like [`Strategy::prop_map`], but with an explicit inverse so failing
+    /// values **shrink through the map**: a failing output is pulled back
+    /// through `inverse`, shrunk in the input domain, and pushed forward
+    /// through `f` again. (A shim extension — upstream proptest shrinks
+    /// through `prop_map` by keeping the generating input alongside each
+    /// value; the shim's stateless shrinking needs the inverse spelled out.)
+    ///
+    /// `inverse` must satisfy `f(inverse(o)) == o` for every `o` the strategy
+    /// can produce; shrink candidates are nonsensical otherwise.
+    fn prop_map_invertible<O, F, G>(self, f: F, inverse: G) -> MapInvertible<Self, F, G>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+        G: Fn(&O) -> Self::Value,
+    {
+        MapInvertible {
+            inner: self,
+            f,
+            inverse,
+        }
     }
 }
 
@@ -74,6 +98,35 @@ where
     }
 }
 
+/// Strategy returned by [`Strategy::prop_map_invertible`]: a mapped strategy
+/// that shrinks through the map by pulling failing values back with the
+/// caller-provided inverse.
+#[derive(Debug, Clone)]
+pub struct MapInvertible<S, F, G> {
+    inner: S,
+    f: F,
+    inverse: G,
+}
+
+impl<S, O, F, G> Strategy for MapInvertible<S, F, G>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+    G: Fn(&O) -> S::Value,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+    fn shrink(&self, value: &O) -> Vec<O> {
+        self.inner
+            .shrink(&(self.inverse)(value))
+            .into_iter()
+            .map(&self.f)
+            .collect()
+    }
+}
+
 /// Strategy returned by [`crate::any`].
 pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
 
@@ -96,9 +149,31 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// Uniform choice among boxed strategies; built by [`crate::prop_oneof!`].
+///
+/// The union tracks **which arm produced which value**, so a failing value
+/// shrinks within an arm that actually generated it — candidates come from
+/// that arm's own `shrink`, never from an arm the value does not belong to.
+/// Provenance is keyed by value equality rather than a single "last sampled
+/// arm" flag because a union nested inside another strategy (a
+/// `collection::vec` element, a tuple component) is sampled several times per
+/// test case: the union keeps a bounded log of `(value, arm)` pairs from
+/// sampling, and shrink candidates are logged under the same arm so the whole
+/// greedy shrink walk stays attributed. A value with no log entry (evicted,
+/// or never produced by this union) simply does not shrink — the sound
+/// pre-tracking behaviour.
 pub struct Union<V> {
     options: Vec<Box<dyn Strategy<Value = V>>>,
+    /// Provenance log: `(value, arm)` for recent samples and shrink
+    /// candidates, newest last. Interior mutability because `sample` and
+    /// `shrink` take `&self`; strategies are per-test values, never shared
+    /// across threads.
+    provenance: std::cell::RefCell<Vec<(V, usize)>>,
 }
+
+/// Cap on the provenance log; beyond this the oldest half is dropped. Old
+/// entries can only be needed by already-finished test cases, so eviction at
+/// worst disables shrinking for a pathological run, never misattributes.
+const UNION_PROVENANCE_CAP: usize = 4096;
 
 impl<V> Union<V> {
     /// Builds a union over `options`.
@@ -108,15 +183,52 @@ impl<V> Union<V> {
     /// Panics if `options` is empty.
     pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! requires at least one strategy");
-        Union { options }
+        Union {
+            options,
+            provenance: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The arm that produced the most recent sample (0 before any sampling).
+    pub fn last_sampled_arm(&self) -> usize {
+        self.provenance.borrow().last().map_or(0, |&(_, arm)| arm)
+    }
+
+    fn record(&self, value: V, arm: usize) {
+        let mut log = self.provenance.borrow_mut();
+        if log.len() >= UNION_PROVENANCE_CAP {
+            log.drain(..UNION_PROVENANCE_CAP / 2);
+        }
+        log.push((value, arm));
     }
 }
 
-impl<V> Strategy for Union<V> {
+impl<V: Clone + PartialEq> Strategy for Union<V> {
     type Value = V;
     fn sample(&self, rng: &mut TestRng) -> V {
         let index = rng.gen_range(0..self.options.len());
-        self.options[index].sample(rng)
+        let value = self.options[index].sample(rng);
+        self.record(value.clone(), index);
+        value
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        // Newest match wins: if several arms have produced this exact value,
+        // any of them is a valid generator for it.
+        let arm = match self
+            .provenance
+            .borrow()
+            .iter()
+            .rev()
+            .find(|(logged, _)| logged == value)
+        {
+            Some(&(_, arm)) => arm,
+            None => return Vec::new(),
+        };
+        let candidates = self.options[arm].shrink(value);
+        for candidate in &candidates {
+            self.record(candidate.clone(), arm);
+        }
+        candidates
     }
 }
 
@@ -379,5 +491,39 @@ mod tests {
             seen[union.sample(&mut rng) as usize] = true;
         }
         assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn union_tracks_the_sampled_arm_and_shrinks_within_it() {
+        let mut rng = rng();
+        // Two disjoint ranges: every value identifies its arm.
+        let union = Union::new(vec![
+            Box::new(0u32..10) as Box<dyn Strategy<Value = u32>>,
+            Box::new(100u32..200),
+        ]);
+        for _ in 0..50 {
+            let value = union.sample(&mut rng);
+            let arm = union.last_sampled_arm();
+            assert_eq!(arm, usize::from(value >= 100), "arm mismatch for {value}");
+            // Shrink candidates stay in the sampled arm's range (they halve
+            // toward that arm's lower bound).
+            for candidate in union.shrink(&value) {
+                if arm == 0 {
+                    assert!(candidate < 10, "arm-0 candidate {candidate} escaped");
+                } else {
+                    assert!((100..200).contains(&candidate), "arm-1 candidate {candidate} escaped");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invertible_map_shrinks_through_the_mapping() {
+        // Double every input: failing outputs must shrink to smaller *even*
+        // values, which requires pulling back through the inverse.
+        let strategy = (0u32..100).prop_map_invertible(|v| v * 2, |o: &u32| o / 2);
+        let candidates = strategy.shrink(&194);
+        assert_eq!(candidates, vec![0, 96]);
+        assert!(strategy.shrink(&0).is_empty());
     }
 }
