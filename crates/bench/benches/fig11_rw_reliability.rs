@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.bench_function("smoke_sweep", |b| {
-        b.iter(|| {
-            manet_sim::experiments::fig11::run(&smoke::fig11()).expect("fig11 experiment")
-        })
+        b.iter(|| manet_sim::experiments::fig11::run(&smoke::fig11()).expect("fig11 experiment"))
     });
     group.finish();
 }

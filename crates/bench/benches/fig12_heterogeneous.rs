@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.bench_function("smoke_sweep", |b| {
-        b.iter(|| {
-            manet_sim::experiments::fig12::run(&smoke::fig12()).expect("fig12 experiment")
-        })
+        b.iter(|| manet_sim::experiments::fig12::run(&smoke::fig12()).expect("fig12 experiment"))
     });
     group.finish();
 }

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_secs(1));
     group.bench_function("smoke_sweep", |b| {
         b.iter(|| {
-            manet_sim::experiments::city::fig14_15(&smoke::city()).expect("fig15 experiment").1
+            manet_sim::experiments::city::fig14_15(&smoke::city())
+                .expect("fig15 experiment")
+                .1
         })
     });
     group.finish();

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_secs(1));
     group.bench_function("smoke_sweep", |b| {
         b.iter(|| {
-            manet_sim::experiments::frugality::run(&smoke::frugality()).expect("fig17 experiment").bandwidth_kb
+            manet_sim::experiments::frugality::run(&smoke::frugality())
+                .expect("fig17 experiment")
+                .bandwidth_kb
         })
     });
     group.finish();

@@ -60,7 +60,9 @@ impl Round {
         let mut outcomes = 0;
         for tx in pending {
             outcomes += if brute {
-                self.medium.complete_transmission_brute(tx, &mut self.rng).len()
+                self.medium
+                    .complete_transmission_brute(tx, &mut self.rng)
+                    .len()
             } else {
                 self.medium.complete_transmission(tx, &mut self.rng).len()
             };

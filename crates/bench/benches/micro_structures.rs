@@ -4,7 +4,9 @@
 //! instance under a burst of heartbeats.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use frugal::{DisseminationProtocol, EventTable, FrugalProtocol, Message, NeighborhoodTable, ProtocolConfig};
+use frugal::{
+    DisseminationProtocol, EventTable, FrugalProtocol, Message, NeighborhoodTable, ProtocolConfig,
+};
 use pubsub::{Event, EventId, ProcessId, SubscriptionSet, Topic};
 use simkit::{SimDuration, SimTime};
 use std::time::Duration;
@@ -88,9 +90,17 @@ fn bench_neighborhood_table(c: &mut Criterion) {
                     Some(i as f64 % 40.0),
                     SimTime::from_secs(i % 30),
                 );
-                table.record_known_event(ProcessId(i), EventId::new(ProcessId(0), i), SimTime::from_secs(i % 30));
+                table.record_known_event(
+                    ProcessId(i),
+                    EventId::new(ProcessId(0), i),
+                    SimTime::from_secs(i % 30),
+                );
             }
-            black_box(table.collect_stale(SimTime::from_secs(30), SimDuration::from_secs(10)).len())
+            black_box(
+                table
+                    .collect_stale(SimTime::from_secs(30), SimDuration::from_secs(10))
+                    .len(),
+            )
         })
     });
     group.finish();

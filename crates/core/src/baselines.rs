@@ -346,7 +346,10 @@ mod tests {
     #[test]
     fn policy_names_are_stable() {
         assert_eq!(FloodingPolicy::Simple.name(), "simple-flooding");
-        assert_eq!(FloodingPolicy::InterestAware.name(), "interests-aware-flooding");
+        assert_eq!(
+            FloodingPolicy::InterestAware.name(),
+            "interests-aware-flooding"
+        );
         assert_eq!(
             FloodingPolicy::NeighborInterest.name(),
             "neighbors-interests-flooding"
@@ -359,9 +362,13 @@ mod tests {
         let mut p = proto(1, FloodingPolicy::Simple);
         let (_, actions) = p.publish(topic(".T0"), SimDuration::from_secs(60), 400, t(0));
         assert_eq!(broadcast_events(&actions), 1);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::FloodTick, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::FloodTick,
+                ..
+            }
+        )));
         assert_eq!(p.stored_events(), 1);
         assert_eq!(p.metrics().events_published, 1);
     }
@@ -380,9 +387,13 @@ mod tests {
         assert_eq!(broadcast_events(&actions), 0);
         assert_eq!(p.stored_events(), 0);
         // The timer keeps re-arming in all cases (the node may receive more events).
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::FloodTick, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::FloodTick,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -395,7 +406,11 @@ mod tests {
         assert_eq!(p.metrics().parasites_received, 1);
         assert_eq!(p.stored_events(), 1);
         let tick = p.handle_timer(TimerKind::FloodTick, t(2));
-        assert_eq!(broadcast_events(&tick), 1, "simple flooding relays parasites");
+        assert_eq!(
+            broadcast_events(&tick),
+            1,
+            "simple flooding relays parasites"
+        );
     }
 
     #[test]
@@ -489,7 +504,9 @@ mod tests {
         assert!(simple.handle_timer(TimerKind::Heartbeat, t(1)).is_empty());
         // Frugal-specific timers are ignored by every flooding variant.
         assert!(simple.handle_timer(TimerKind::BackOff, t(1)).is_empty());
-        assert!(simple.handle_timer(TimerKind::NeighborhoodGc, t(1)).is_empty());
+        assert!(simple
+            .handle_timer(TimerKind::NeighborhoodGc, t(1))
+            .is_empty());
     }
 
     #[test]
@@ -514,7 +531,11 @@ mod tests {
                 );
             }
             let tick = p.handle_timer(TimerKind::FloodTick, t(1));
-            assert_eq!(broadcast_events(&tick), 1, "policy {policy:?} must flood its own event");
+            assert_eq!(
+                broadcast_events(&tick),
+                1,
+                "policy {policy:?} must flood its own event"
+            );
         }
     }
 

@@ -103,10 +103,16 @@ impl ProtocolConfig {
             return Err(format!("x must be positive and finite, got {}", self.x));
         }
         if self.hb2bo <= 0.0 || !self.hb2bo.is_finite() {
-            return Err(format!("HB2BO must be positive and finite, got {}", self.hb2bo));
+            return Err(format!(
+                "HB2BO must be positive and finite, got {}",
+                self.hb2bo
+            ));
         }
         if self.hb2ngc <= 0.0 || !self.hb2ngc.is_finite() {
-            return Err(format!("HB2NGC must be positive and finite, got {}", self.hb2ngc));
+            return Err(format!(
+                "HB2NGC must be positive and finite, got {}",
+                self.hb2ngc
+            ));
         }
         if self.hb_lower_bound > self.hb_upper_bound {
             return Err(format!(

@@ -67,13 +67,19 @@ mod tests {
         //  over the average speed of 10 mps)" — with no upper bound in the way.
         let mut cfg = config();
         cfg.hb_upper_bound = SimDuration::from_secs(60);
-        assert_eq!(compute_hb_delay(&cfg, Some(10.0)), SimDuration::from_secs(4));
+        assert_eq!(
+            compute_hb_delay(&cfg, Some(10.0)),
+            SimDuration::from_secs(4)
+        );
     }
 
     #[test]
     fn hb_delay_is_clamped_to_upper_bound() {
         let cfg = config(); // upper bound 1 s
-        assert_eq!(compute_hb_delay(&cfg, Some(10.0)), SimDuration::from_secs(1));
+        assert_eq!(
+            compute_hb_delay(&cfg, Some(10.0)),
+            SimDuration::from_secs(1)
+        );
         assert_eq!(compute_hb_delay(&cfg, Some(0.5)), SimDuration::from_secs(1));
     }
 
@@ -93,7 +99,10 @@ mod tests {
         relaxed.hb_upper_bound = SimDuration::from_secs(30);
         assert_eq!(compute_hb_delay(&relaxed, None), SimDuration::from_secs(15));
         // Zero average speed behaves like "no information".
-        assert_eq!(compute_hb_delay(&relaxed, Some(0.0)), SimDuration::from_secs(15));
+        assert_eq!(
+            compute_hb_delay(&relaxed, Some(0.0)),
+            SimDuration::from_secs(15)
+        );
     }
 
     #[test]
@@ -101,7 +110,10 @@ mod tests {
         let mut cfg = config();
         cfg.adapt_to_speed = false;
         cfg.hb_upper_bound = SimDuration::from_secs(30);
-        assert_eq!(compute_hb_delay(&cfg, Some(10.0)), SimDuration::from_secs(15));
+        assert_eq!(
+            compute_hb_delay(&cfg, Some(10.0)),
+            SimDuration::from_secs(15)
+        );
     }
 
     #[test]

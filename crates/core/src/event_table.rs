@@ -254,7 +254,10 @@ mod tests {
         let mut table = EventTable::new(10);
         let e = event(0, ".T0", 60);
         table.insert(e.clone(), SimTime::ZERO).unwrap();
-        assert_eq!(table.insert(e.clone(), SimTime::ZERO), Err(InsertError::AlreadyStored));
+        assert_eq!(
+            table.insert(e.clone(), SimTime::ZERO),
+            Err(InsertError::AlreadyStored)
+        );
         let stale = event(1, ".T0", 10);
         assert_eq!(
             table.insert(stale, SimTime::from_secs(20)),
@@ -301,7 +304,9 @@ mod tests {
         table.insert(healthy.clone(), SimTime::ZERO).unwrap();
         // At t=10 the first event has expired; inserting a third must evict it.
         let newcomer = event(2, ".a", 500);
-        let evicted = table.insert(newcomer.clone(), SimTime::from_secs(10)).unwrap();
+        let evicted = table
+            .insert(newcomer.clone(), SimTime::from_secs(10))
+            .unwrap();
         assert_eq!(evicted, Some(expired_soon.id));
         assert!(table.contains(&healthy.id));
         assert!(table.contains(&newcomer.id));
@@ -320,7 +325,11 @@ mod tests {
         table.increment_forward_count(&fresh.id);
         let newcomer = event(2, ".a", 200);
         let evicted = table.insert(newcomer, SimTime::from_secs(1)).unwrap();
-        assert_eq!(evicted, Some(worn.id), "the much-forwarded long event goes first");
+        assert_eq!(
+            evicted,
+            Some(worn.id),
+            "the much-forwarded long event goes first"
+        );
         assert!(table.contains(&fresh.id));
     }
 
@@ -339,7 +348,9 @@ mod tests {
     fn ids_of_interest_filters_topic_and_validity() {
         let mut table = EventTable::new(10);
         table.insert(event(0, ".T0.T1", 60), SimTime::ZERO).unwrap();
-        table.insert(event(1, ".T0.T1.T2", 60), SimTime::ZERO).unwrap();
+        table
+            .insert(event(1, ".T0.T1.T2", 60), SimTime::ZERO)
+            .unwrap();
         table.insert(event(2, ".music", 60), SimTime::ZERO).unwrap();
         table.insert(event(3, ".T0.T1", 5), SimTime::ZERO).unwrap();
 
@@ -353,14 +364,19 @@ mod tests {
         );
         // A subscriber of the subtopic only cares about the subtopic.
         let narrow = SubscriptionSet::single(topic(".T0.T1.T2"));
-        assert_eq!(table.ids_of_interest(&narrow, SimTime::from_secs(10)).len(), 1);
+        assert_eq!(
+            table.ids_of_interest(&narrow, SimTime::from_secs(10)).len(),
+            1
+        );
     }
 
     #[test]
     fn events_under_topic_returns_subtree() {
         let mut table = EventTable::new(10);
         table.insert(event(0, ".T0.T1", 60), SimTime::ZERO).unwrap();
-        table.insert(event(1, ".T0.T1.T2", 60), SimTime::ZERO).unwrap();
+        table
+            .insert(event(1, ".T0.T1.T2", 60), SimTime::ZERO)
+            .unwrap();
         table.insert(event(2, ".other", 60), SimTime::ZERO).unwrap();
         let under = table.events_under_topic(&topic(".T0"), SimTime::from_secs(1));
         assert_eq!(under.len(), 2);
@@ -394,9 +410,9 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use proptest::prelude::*;
     use pubsub::ProcessId;
     use simkit::SimDuration;
-    use proptest::prelude::*;
 
     proptest! {
         /// The table never exceeds its capacity and never stores an event twice,

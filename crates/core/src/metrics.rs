@@ -102,12 +102,19 @@ mod tests {
     fn delivery_is_counted_once() {
         let mut m = ProtocolMetrics::new();
         assert!(m.record_delivery(id(0), SimTime::from_secs(1)));
-        assert!(!m.record_delivery(id(0), SimTime::from_secs(2)), "second copy is a duplicate");
+        assert!(
+            !m.record_delivery(id(0), SimTime::from_secs(2)),
+            "second copy is a duplicate"
+        );
         assert_eq!(m.events_delivered, 1);
         assert_eq!(m.duplicates_received, 1);
         assert!(m.has_delivered(&id(0)));
         assert!(!m.has_delivered(&id(1)));
-        assert_eq!(m.delivery_time(&id(0)), Some(SimTime::from_secs(1)), "first delivery time wins");
+        assert_eq!(
+            m.delivery_time(&id(0)),
+            Some(SimTime::from_secs(1)),
+            "first delivery time wins"
+        );
     }
 
     #[test]

@@ -143,9 +143,9 @@ impl NeighborhoodTable {
     /// `true` if some tracked neighbor is subscribed to `topic` (directly or
     /// through an ancestor subscription) and is not yet known to hold `event`.
     pub fn someone_needs(&self, topic: &Topic, event: &EventId) -> bool {
-        self.entries.values().any(|entry| {
-            entry.subscriptions.matches(topic) && !entry.known_events.contains(event)
-        })
+        self.entries
+            .values()
+            .any(|entry| entry.subscriptions.matches(topic) && !entry.known_events.contains(event))
     }
 
     /// `true` if some tracked neighbor is subscribed to `topic`.
@@ -350,7 +350,11 @@ mod tests {
         let is_new = table.upsert(ProcessId(1), subs(".a"), None, SimTime::from_secs(20));
         assert!(is_new, "re-detection still counts as a new-neighbor event");
         assert!(table.neighbor_knows(ProcessId(1), &eid(7)));
-        assert_eq!(table.departed_len(), 0, "the memory entry is consumed on return");
+        assert_eq!(
+            table.departed_len(),
+            0,
+            "the memory entry is consumed on return"
+        );
     }
 
     #[test]

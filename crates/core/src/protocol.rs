@@ -68,18 +68,15 @@ impl FrugalProtocol {
         let ngc_delay = compute_ngc_delay(&config, hb_delay);
         // SplitMix64-style hash of the process id, mapped to [0, 1): stable,
         // uniform-ish, and different for different processes.
-        let hashed = id
-            .0
-            .wrapping_add(0x9E37_79B9_7F4A_7C15)
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let hashed =
+            id.0.wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
         let unit = ((hashed >> 40) & 0xFFFF) as f64 / 65536.0;
         let bo_jitter = 1.0 + config.bo_jitter_fraction * unit;
         FrugalProtocol {
             id,
             event_table: EventTable::new(config.event_table_capacity),
-            neighborhood: NeighborhoodTable::with_departed_memory(
-                config.departed_memory_capacity,
-            ),
+            neighborhood: NeighborhoodTable::with_departed_memory(config.departed_memory_capacity),
             config,
             subscriptions: SubscriptionSet::new(),
             hb_delay,
@@ -232,7 +229,8 @@ impl FrugalProtocol {
         self.broadcast(message, &mut actions);
         for event in &events {
             for &neighbor in &recipients {
-                self.neighborhood.record_known_event(neighbor, event.id, now);
+                self.neighborhood
+                    .record_known_event(neighbor, event.id, now);
             }
             self.event_table.increment_forward_count(&event.id);
         }
@@ -266,12 +264,18 @@ impl FrugalProtocol {
         actions
     }
 
-    fn on_event_ids_received(&mut self, from: ProcessId, ids: &[EventId], now: SimTime) -> Vec<Action> {
+    fn on_event_ids_received(
+        &mut self,
+        from: ProcessId,
+        ids: &[EventId],
+        now: SimTime,
+    ) -> Vec<Action> {
         let mut actions = Vec::new();
         if !self.neighborhood.contains(from) {
             // We have not heard this process's heartbeat yet; park what it
             // announced so it is not mistaken for empty-handed once we do.
-            self.neighborhood.remember_unknown(from, ids.iter().copied(), now);
+            self.neighborhood
+                .remember_unknown(from, ids.iter().copied(), now);
             return actions;
         }
         for id in ids {
@@ -296,7 +300,8 @@ impl FrugalProtocol {
             self.neighborhood.record_known_event(from, event.id, now);
             for &recipient in recipients {
                 if recipient != self.id {
-                    self.neighborhood.record_known_event(recipient, event.id, now);
+                    self.neighborhood
+                        .record_known_event(recipient, event.id, now);
                 }
             }
             if self.subscriptions.matches(&event.topic) {
@@ -550,7 +555,10 @@ mod tests {
         p.subscribe(topic(".T0"), t(0));
         p.subscribe(topic(".T1"), t(0));
         let partial = p.unsubscribe(&topic(".T0"), t(1));
-        assert!(partial.is_empty(), "tasks keep running while subscriptions remain");
+        assert!(
+            partial.is_empty(),
+            "tasks keep running while subscriptions remain"
+        );
         let full = p.unsubscribe(&topic(".T1"), t(2));
         assert!(full.contains(&Action::CancelTimer(TimerKind::Heartbeat)));
         assert!(full.contains(&Action::CancelTimer(TimerKind::NeighborhoodGc)));
@@ -562,9 +570,13 @@ mod tests {
         p.subscribe(topic(".T0"), t(0));
         let actions = p.handle_timer(TimerKind::Heartbeat, t(1));
         assert_eq!(broadcasts(&actions).len(), 1);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::Heartbeat, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::Heartbeat,
+                ..
+            }
+        )));
         // After unsubscribing, a stray timer expiration is a no-op.
         p.unsubscribe(&topic(".T0"), t(2));
         assert!(p.handle_timer(TimerKind::Heartbeat, t(3)).is_empty());
@@ -601,7 +613,11 @@ mod tests {
         match sent[0] {
             Message::EventIds { from, ids } => {
                 assert_eq!(*from, ProcessId(1));
-                assert_eq!(ids.len(), 1, "the stored event matches the newcomer's subscription");
+                assert_eq!(
+                    ids.len(),
+                    1,
+                    "the stored event matches the newcomer's subscription"
+                );
             }
             other => panic!("expected an EventIds message, got {other:?}"),
         }
@@ -630,22 +646,32 @@ mod tests {
         };
         let actions = p.handle_message(&ids, t(1));
         assert!(p.backoff_pending());
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::BackOff, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::BackOff,
+                ..
+            }
+        )));
         // When the back-off expires the event is broadcast with the recipients list.
         let fired = p.handle_timer(TimerKind::BackOff, t(2));
         let sent = broadcasts(&fired);
         assert_eq!(sent.len(), 1);
         match sent[0] {
-            Message::Events { events, recipients, .. } => {
+            Message::Events {
+                events, recipients, ..
+            } => {
                 assert_eq!(events.len(), 1);
                 assert_eq!(recipients, &vec![ProcessId(2)]);
             }
             other => panic!("expected an Events message, got {other:?}"),
         }
         assert!(!p.backoff_pending());
-        assert_eq!(p.metrics().events_sent, 1, "the forwarded copy is the only event on the air");
+        assert_eq!(
+            p.metrics().events_sent,
+            1,
+            "the forwarded copy is the only event on the air"
+        );
         // The neighbor is now known to hold the event: no further back-off.
         let again = p.handle_message(&ids, t(3));
         assert!(again.is_empty());
@@ -668,7 +694,10 @@ mod tests {
             ids: vec![event_id],
         };
         p.handle_message(&ids, t(1));
-        assert!(!p.backoff_pending(), "nothing to send: the neighbor has the event already");
+        assert!(
+            !p.backoff_pending(),
+            "nothing to send: the neighbor has the event already"
+        );
     }
 
     #[test]
@@ -780,9 +809,13 @@ mod tests {
         assert!(actions.contains(&Action::CancelTimer(TimerKind::BackOff)));
         // The back-off is re-armed because neighbor 2 still misses our original event.
         assert!(p.backoff_pending());
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::BackOff, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::BackOff,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -809,7 +842,10 @@ mod tests {
         let mut p = proto(1);
         p.subscribe(topic(".T0"), t(0));
         let (_, actions) = p.publish(topic(".T0.news"), SimDuration::from_secs(60), 400, t(1));
-        assert!(broadcasts(&actions).is_empty(), "no neighbor, nothing on the air");
+        assert!(
+            broadcasts(&actions).is_empty(),
+            "no neighbor, nothing on the air"
+        );
         assert_eq!(p.metrics().events_published, 1);
     }
 
@@ -828,7 +864,11 @@ mod tests {
         );
         // Subscriber's initial heartbeat reaches the publisher.
         deliver_broadcasts(&sub_actions, &mut [&mut publisher], t(1));
-        assert_eq!(publisher.neighborhood().len(), 1, "publisher tracks the interested neighbor");
+        assert_eq!(
+            publisher.neighborhood().len(),
+            1,
+            "publisher tracks the interested neighbor"
+        );
         // Subscriber announces (empty) event ids via its own new-neighbor path:
         // simulate the publisher's heartbeat reaching the subscriber first.
         let pub_hb = Message::Heartbeat {
@@ -847,9 +887,13 @@ mod tests {
             ids: vec![],
         };
         let actions = publisher.handle_message(&ids_msg, t(2));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::BackOff, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::BackOff,
+                ..
+            }
+        )));
         let fired = publisher.handle_timer(TimerKind::BackOff, t(3));
         let produced = deliver_broadcasts(&fired, &mut [&mut subscriber], t(3));
         assert!(subscriber.has_delivered(&event_id));
@@ -878,7 +922,10 @@ mod tests {
         deliver_broadcasts(&p2_ids, &mut [&mut p1], t(1));
         deliver_broadcasts(&p1_ids, &mut [&mut p2], t(1));
         // p2 has events p1 needs (T1 covers T2); p1's event is of no interest to p2.
-        assert!(p2.backoff_pending(), "p2 must schedule sending e4, e5 to p1");
+        assert!(
+            p2.backoff_pending(),
+            "p2 must schedule sending e4, e5 to p1"
+        );
         assert!(!p1.backoff_pending(), "p1 has nothing p2 wants");
         let p2_send = p2.handle_timer(TimerKind::BackOff, t(2));
         deliver_broadcasts(&p2_send, &mut [&mut p1], t(2));
@@ -896,7 +943,10 @@ mod tests {
         let hb2 = p2.handle_timer(TimerKind::Heartbeat, t(3));
         let p3_reaction = deliver_broadcasts(&[hb1, hb2].concat(), &mut [&mut p3], t(3));
         deliver_broadcasts(&p3_reaction, &mut [&mut p1, &mut p2], t(3));
-        assert!(p1.backoff_pending() || p2.backoff_pending(), "someone must serve p3");
+        assert!(
+            p1.backoff_pending() || p2.backoff_pending(),
+            "someone must serve p3"
+        );
         // Both may have armed back-offs; p1 has 3 events to send, p2 has 2, so
         // p1's delay is shorter (checked in the delays module). Fire p1 first.
         let p1_send = p1.handle_timer(TimerKind::BackOff, t(4));
@@ -949,7 +999,10 @@ mod tests {
                 .expect("a back-off must be armed")
         };
         let delays: std::collections::HashSet<_> = (0..8).map(armed_delay).collect();
-        assert!(delays.len() > 1, "per-process jitter must spread identical back-offs");
+        assert!(
+            delays.len() > 1,
+            "per-process jitter must spread identical back-offs"
+        );
         // And every jittered delay stays within [base, 2*base) of the paper's formula.
         let base = SimDuration::from_millis(500);
         for delay in delays {
@@ -998,7 +1051,10 @@ mod tests {
         };
         let rich = make(1, 3);
         let poor = make(2, 2);
-        assert!(rich < poor, "more events to send => shorter back-off ({rich} vs {poor})");
+        assert!(
+            rich < poor,
+            "more events to send => shorter back-off ({rich} vs {poor})"
+        );
     }
 
     #[test]
@@ -1017,9 +1073,13 @@ mod tests {
         // Long after the NGC delay, the GC timer fires and evicts the silent neighbor.
         let actions = p.handle_timer(TimerKind::NeighborhoodGc, t(60));
         assert!(p.neighborhood().is_empty());
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::NeighborhoodGc, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::NeighborhoodGc,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1079,7 +1139,11 @@ mod tests {
             );
             assert!(p.event_table().len() <= 4);
         }
-        assert_eq!(p.metrics().events_delivered, 20, "evictions never block deliveries");
+        assert_eq!(
+            p.metrics().events_delivered,
+            20,
+            "evictions never block deliveries"
+        );
     }
 
     #[test]

@@ -26,10 +26,23 @@ use std::collections::HashSet;
 enum Step {
     Subscribe(u8),
     Unsubscribe(u8),
-    Publish { topic: u8, validity_secs: u8 },
-    Heartbeat { from: u8, topic: u8, speed: Option<u8> },
-    EventIds { from: u8, ids: Vec<(u8, u8)> },
-    Events { from: u8, events: Vec<(u8, u8, u8, u8)> },
+    Publish {
+        topic: u8,
+        validity_secs: u8,
+    },
+    Heartbeat {
+        from: u8,
+        topic: u8,
+        speed: Option<u8>,
+    },
+    EventIds {
+        from: u8,
+        ids: Vec<(u8, u8)>,
+    },
+    Events {
+        from: u8,
+        events: Vec<(u8, u8, u8, u8)>,
+    },
     Timer(u8),
     AdvanceTime(u8),
 }
@@ -58,7 +71,10 @@ fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0u8..5).prop_map(Step::Subscribe),
         (0u8..5).prop_map(Step::Unsubscribe),
-        (0u8..5, 1u8..120).prop_map(|(topic, validity_secs)| Step::Publish { topic, validity_secs }),
+        (0u8..5, 1u8..120).prop_map(|(topic, validity_secs)| Step::Publish {
+            topic,
+            validity_secs
+        }),
         (1u8..8, 0u8..5, proptest::option::of(0u8..40))
             .prop_map(|(from, topic, speed)| Step::Heartbeat { from, topic, speed }),
         (1u8..8, proptest::collection::vec((1u8..8, 0u8..20), 0..6))
@@ -79,9 +95,9 @@ fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], ca
     let mut delivered: HashSet<EventId> = HashSet::new();
 
     let verify = |actions: &[Action],
-                      protocol: &dyn DisseminationProtocol,
-                      delivered: &mut HashSet<EventId>,
-                      now: SimTime| {
+                  protocol: &dyn DisseminationProtocol,
+                  delivered: &mut HashSet<EventId>,
+                  now: SimTime| {
         for action in actions {
             match action {
                 Action::Deliver(event) => {
@@ -120,7 +136,10 @@ fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], ca
         let actions = match step {
             Step::Subscribe(t) => protocol.subscribe(topic_for(*t), now),
             Step::Unsubscribe(t) => protocol.unsubscribe(&topic_for(*t), now),
-            Step::Publish { topic, validity_secs } => {
+            Step::Publish {
+                topic,
+                validity_secs,
+            } => {
                 let (_, actions) = protocol.publish(
                     topic_for(*topic),
                     SimDuration::from_secs(u64::from(*validity_secs)),
@@ -177,7 +196,10 @@ fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], ca
     }
 
     // The metrics agree with what we observed action by action.
-    assert_eq!(protocol.metrics().events_delivered as usize, delivered.len());
+    assert_eq!(
+        protocol.metrics().events_delivered as usize,
+        delivered.len()
+    );
     for id in &delivered {
         assert!(protocol.has_delivered(id));
     }

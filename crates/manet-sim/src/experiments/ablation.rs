@@ -162,7 +162,9 @@ mod tests {
         assert_eq!(variants.len(), 6);
         assert!(variants.iter().any(|v| !v.config.adapt_to_speed));
         assert!(variants.iter().any(|v| v.config.bo_jitter_fraction == 0.0));
-        assert!(variants.iter().any(|v| v.config.departed_memory_capacity == 0));
+        assert!(variants
+            .iter()
+            .any(|v| v.config.departed_memory_capacity == 0));
         assert!(variants.iter().any(|v| v.config.event_table_capacity == 2));
         assert!(variants
             .iter()
@@ -180,7 +182,12 @@ mod tests {
         assert_eq!(table.rows().len(), 2);
         let reliability = table.value("paper defaults", "reliability").unwrap();
         assert!((0.0..=1.0).contains(&reliability));
-        assert!(table.value("paper defaults", "bandwidth [kB/process]").unwrap() > 0.0);
+        assert!(
+            table
+                .value("paper defaults", "bandwidth [kB/process]")
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]

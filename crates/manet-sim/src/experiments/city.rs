@@ -99,8 +99,7 @@ fn run_city_point(
 ) -> Result<ExperimentPoint, ScenarioError> {
     let mut point = ExperimentPoint::new();
     for &publisher in &config.publishers {
-        let protocol_config =
-            ProtocolConfig::paper_default().with_hb_upper_bound(hb_upper_bound);
+        let protocol_config = ProtocolConfig::paper_default().with_hb_upper_bound(hb_upper_bound);
         let scenario = ScenarioBuilder::city()
             .label(format!(
                 "city hb={}s interest={subscriber_fraction} validity={}s publisher={publisher}",

@@ -50,7 +50,10 @@ impl Fig11Config {
     pub fn quick() -> Self {
         Fig11Config {
             speeds: vec![0.0, 10.0, 30.0],
-            validities: [30u64, 90].into_iter().map(SimDuration::from_secs).collect(),
+            validities: [30u64, 90]
+                .into_iter()
+                .map(SimDuration::from_secs)
+                .collect(),
             subscriber_fractions: vec![0.8],
             seeds: SeedPlan::quick(),
             effort: Effort::Quick,
@@ -84,12 +87,13 @@ pub fn run(config: &Fig11Config) -> Result<Vec<DataTable>, ScenarioError> {
         for &speed in &config.speeds {
             let mut row = Vec::new();
             for &validity in &config.validities {
-                let scenario = random_waypoint_builder(config.effort, speed, speed, fraction, validity)
-                    .label(format!(
-                        "fig11 speed={speed} validity={}s interest={fraction}",
-                        validity.as_millis() / 1000
-                    ))
-                    .build()?;
+                let scenario =
+                    random_waypoint_builder(config.effort, speed, speed, fraction, validity)
+                        .label(format!(
+                            "fig11 speed={speed} validity={}s interest={fraction}",
+                            validity.as_millis() / 1000
+                        ))
+                        .build()?;
                 let point = run_scenario(&scenario, config.seeds)?;
                 row.push(point.reliability().mean);
             }

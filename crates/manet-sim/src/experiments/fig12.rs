@@ -48,7 +48,10 @@ impl Fig12Config {
     pub fn quick() -> Self {
         Fig12Config {
             speed_range: (1.0, 40.0),
-            validities: [40u64, 120].into_iter().map(SimDuration::from_secs).collect(),
+            validities: [40u64, 120]
+                .into_iter()
+                .map(SimDuration::from_secs)
+                .collect(),
             subscriber_fractions: vec![0.2, 0.8],
             seeds: SeedPlan::quick(),
             effort: Effort::Quick,

@@ -98,7 +98,11 @@ fn scenario_for(
     events: usize,
 ) -> Result<crate::scenario::Scenario, ScenarioError> {
     let (nodes, area, warmup) = match config.effort {
-        Effort::Paper => (150, Area::paper_random_waypoint(), SimDuration::from_secs(600)),
+        Effort::Paper => (
+            150,
+            Area::paper_random_waypoint(),
+            SimDuration::from_secs(600),
+        ),
         Effort::Quick => (40, Area::square(1_500.0), SimDuration::from_secs(20)),
     };
     // Events are published by random subscribers during the first seconds of
@@ -142,7 +146,11 @@ fn scenario_for(
 ///
 /// Returns a [`ScenarioError`] if a generated scenario is inconsistent.
 pub fn run(config: &FrugalityConfig) -> Result<FrugalityTables, ScenarioError> {
-    let columns: Vec<String> = config.protocols.iter().map(|p| p.name().to_owned()).collect();
+    let columns: Vec<String> = config
+        .protocols
+        .iter()
+        .map(|p| p.name().to_owned())
+        .collect();
     let mut bandwidth_kb = DataTable::new(
         "Fig. 17 — bandwidth used per process [kB]",
         "events / interest",

@@ -45,7 +45,11 @@ pub(crate) fn random_waypoint_builder(
     validity: SimDuration,
 ) -> ScenarioBuilder {
     let (nodes, area, warmup) = match effort {
-        Effort::Paper => (150, Area::paper_random_waypoint(), SimDuration::from_secs(600)),
+        Effort::Paper => (
+            150,
+            Area::paper_random_waypoint(),
+            SimDuration::from_secs(600),
+        ),
         Effort::Quick => (40, Area::square(1_500.0), SimDuration::from_secs(30)),
     };
     ScenarioBuilder::new()
@@ -73,12 +77,14 @@ mod tests {
 
     #[test]
     fn shared_builder_scales_with_effort() {
-        let quick = random_waypoint_builder(Effort::Quick, 10.0, 10.0, 0.8, SimDuration::from_secs(60))
-            .build()
-            .unwrap();
-        let paper = random_waypoint_builder(Effort::Paper, 10.0, 10.0, 0.8, SimDuration::from_secs(60))
-            .build()
-            .unwrap();
+        let quick =
+            random_waypoint_builder(Effort::Quick, 10.0, 10.0, 0.8, SimDuration::from_secs(60))
+                .build()
+                .unwrap();
+        let paper =
+            random_waypoint_builder(Effort::Paper, 10.0, 10.0, 0.8, SimDuration::from_secs(60))
+                .build()
+                .unwrap();
         assert!(quick.node_count < paper.node_count);
         assert!(quick.warmup < paper.warmup);
         assert_eq!(paper.node_count, 150);

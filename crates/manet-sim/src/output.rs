@@ -30,7 +30,10 @@ impl DataTable {
         row_label: impl Into<String>,
         columns: Vec<String>,
     ) -> Self {
-        assert!(!columns.is_empty(), "a data table needs at least one column");
+        assert!(
+            !columns.is_empty(),
+            "a data table needs at least one column"
+        );
         DataTable {
             title: title.into(),
             row_label: row_label.into(),

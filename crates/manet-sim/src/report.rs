@@ -237,10 +237,7 @@ mod tests {
 
     #[test]
     fn per_process_averages() {
-        let r = report(
-            vec![],
-            vec![node(4, 2, 6, 2048), node(0, 0, 0, 0)],
-        );
+        let r = report(vec![], vec![node(4, 2, 6, 2048), node(0, 0, 0, 0)]);
         assert_eq!(r.events_sent_per_process(), 2.0);
         assert_eq!(r.duplicates_per_process(), 1.0);
         assert_eq!(r.parasites_per_process(), 3.0);

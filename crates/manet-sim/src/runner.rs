@@ -197,7 +197,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder};
+    use crate::scenario::{
+        MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder,
+    };
     use crate::world::World;
     use frugal::ProtocolConfig;
     use mobility::Area;
@@ -244,7 +246,10 @@ mod tests {
         assert_eq!(point.runs(), 4);
         let r = point.reliability();
         assert!(r.mean >= 0.0 && r.mean <= 1.0);
-        assert!(point.bandwidth_kb().mean > 0.0, "heartbeats consume bandwidth");
+        assert!(
+            point.bandwidth_kb().mean > 0.0,
+            "heartbeats consume bandwidth"
+        );
     }
 
     #[test]
@@ -280,9 +285,14 @@ mod tests {
         // More seeds than workers × chunks so several steal rounds happen.
         let scenario = tiny_scenario();
         let pooled = run_scenario_reports(&scenario, SeedPlan::new(1, 12)).unwrap();
-        assert_eq!(pooled.iter().map(|r| r.seed).collect::<Vec<_>>(), (1..=12).collect::<Vec<_>>());
+        assert_eq!(
+            pooled.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            (1..=12).collect::<Vec<_>>()
+        );
         for (offset, report) in pooled.iter().enumerate() {
-            let solo = World::new(scenario.clone(), 1 + offset as u64).unwrap().run();
+            let solo = World::new(scenario.clone(), 1 + offset as u64)
+                .unwrap()
+                .run();
             assert_eq!(*report, solo, "pooled seed {} diverged", report.seed);
         }
     }

@@ -151,7 +151,10 @@ impl std::fmt::Display for ScenarioError {
                 write!(f, "subscriber topic does not cover the event topic")
             }
             ScenarioError::PublicationAfterEnd => {
-                write!(f, "a publication is scheduled after the end of the simulation")
+                write!(
+                    f,
+                    "a publication is scheduled after the end of the simulation"
+                )
             }
             ScenarioError::WarmupTooLong => write!(f, "warm-up must be shorter than the duration"),
             ScenarioError::ZeroMobilityTick => write!(f, "mobility tick must be positive"),

@@ -191,8 +191,7 @@ impl World {
                     speed_max,
                     pause,
                 } => {
-                    let config =
-                        RandomWaypointConfig::new(*area, *speed_min, *speed_max, *pause);
+                    let config = RandomWaypointConfig::new(*area, *speed_min, *speed_max, *pause);
                     Box::new(RandomWaypoint::new(config, &mut node_rng))
                 }
                 MobilityKind::CityCampus => {
@@ -246,8 +245,10 @@ impl World {
         );
         // Scheduled publications.
         for index in 0..self.scenario.publications.len() {
-            self.queue
-                .schedule(self.scenario.publications[index].at, WorldEvent::Publish { index });
+            self.queue.schedule(
+                self.scenario.publications[index].at,
+                WorldEvent::Publish { index },
+            );
         }
         // Warm-up boundary.
         if !self.scenario.warmup.is_zero() {
@@ -392,7 +393,8 @@ impl World {
             None => return,
         };
         let (tx, ends_at) = self.medium.begin_transmission(sender, size, self.now);
-        self.queue.schedule(ends_at, WorldEvent::TxEnd { frame, tx });
+        self.queue
+            .schedule(ends_at, WorldEvent::TxEnd { frame, tx });
     }
 
     fn on_tx_end(&mut self, frame: usize, tx: TxId) {
@@ -513,8 +515,7 @@ impl World {
                 let traffic = *self.medium.counters(index);
                 let traffic_base = warmup_traffic.get(index).copied().unwrap_or_default();
                 NodeReport {
-                    events_sent: metrics.events_sent
-                        - base.map(|b| b.events_sent).unwrap_or(0),
+                    events_sent: metrics.events_sent - base.map(|b| b.events_sent).unwrap_or(0),
                     messages_sent: metrics.messages_sent
                         - base.map(|b| b.messages_sent).unwrap_or(0),
                     duplicates: metrics.duplicates_received
@@ -697,7 +698,10 @@ mod tests {
         let scenario = small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
         let a = World::new(scenario.clone(), 11).unwrap().run();
         let b = World::new(scenario.clone(), 11).unwrap().run();
-        assert_eq!(a, b, "same scenario + same seed must give identical reports");
+        assert_eq!(
+            a, b,
+            "same scenario + same seed must give identical reports"
+        );
         let c = World::new(scenario, 12).unwrap().run();
         assert_ne!(a.seed, c.seed);
     }
@@ -825,7 +829,10 @@ mod tests {
             let mut naive_world = World::new(pause_heavy_scenario(), seed).unwrap();
             naive_world.set_naive_mobility(true);
             let naive = naive_world.run();
-            assert_eq!(dirty, naive, "dirty-tick diverged from naive for seed {seed}");
+            assert_eq!(
+                dirty, naive,
+                "dirty-tick diverged from naive for seed {seed}"
+            );
         }
         // Stationary nodes are skipped after the first tick; reports must
         // still match the advance-everyone reference.

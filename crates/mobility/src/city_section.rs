@@ -414,7 +414,10 @@ impl CitySection {
     ///
     /// Panics if `start` is not a valid intersection index.
     pub fn from_intersection(config: CitySectionConfig, start: usize, rng: &mut SimRng) -> Self {
-        assert!(start < config.map.intersection_count(), "invalid start intersection");
+        assert!(
+            start < config.map.intersection_count(),
+            "invalid start intersection"
+        );
         let position = config.map.intersection(start);
         let mut this = CitySection {
             config,
@@ -559,7 +562,11 @@ impl MobilityModel for CitySection {
                         self.drive = Drive::Moving { route, next, speed };
                         remaining_secs = 0.0;
                     } else {
-                        remaining_secs -= if speed > 0.0 { dist / speed } else { remaining_secs };
+                        remaining_secs -= if speed > 0.0 {
+                            dist / speed
+                        } else {
+                            remaining_secs
+                        };
                         let reached = route[next];
                         self.arrive_at(reached, route, next + 1, rng);
                     }
@@ -657,12 +664,18 @@ mod tests {
 
     #[test]
     fn builder_rejects_malformed_maps() {
-        assert_eq!(StreetMapBuilder::new().build().unwrap_err(), StreetMapError::Empty);
+        assert_eq!(
+            StreetMapBuilder::new().build().unwrap_err(),
+            StreetMapError::Empty
+        );
 
         let mut b = StreetMapBuilder::new();
         let i = b.intersection(Point::ORIGIN);
         b.road(i, 7, 10.0, 1.0);
-        assert_eq!(b.build().unwrap_err(), StreetMapError::DanglingRoad { road: 0 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            StreetMapError::DanglingRoad { road: 0 }
+        );
 
         let mut b = StreetMapBuilder::new();
         let i = b.intersection(Point::ORIGIN);
@@ -673,7 +686,10 @@ mod tests {
         let i = b.intersection(Point::ORIGIN);
         let j = b.intersection(Point::new(1.0, 0.0));
         b.road(i, j, 0.0, 1.0);
-        assert_eq!(b.build().unwrap_err(), StreetMapError::InvalidSpeedLimit { road: 0 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            StreetMapError::InvalidSpeedLimit { road: 0 }
+        );
 
         let mut b = StreetMapBuilder::new();
         b.intersection(Point::ORIGIN);
@@ -698,7 +714,11 @@ mod tests {
         let mut node = CitySection::new(config, &mut rng);
         for _ in 0..5_000 {
             node.advance(SimDuration::from_millis(500), &mut rng);
-            assert!(area.contains(node.position()), "left the campus at {}", node.position());
+            assert!(
+                area.contains(node.position()),
+                "left the campus at {}",
+                node.position()
+            );
         }
     }
 
@@ -710,7 +730,10 @@ mod tests {
         for _ in 0..2_000 {
             node.advance(SimDuration::from_millis(300), &mut rng);
             let s = node.speed();
-            assert!(s == 0.0 || (8.0..=13.0).contains(&s), "speed {s} outside road limits");
+            assert!(
+                s == 0.0 || (8.0..=13.0).contains(&s),
+                "speed {s} outside road limits"
+            );
         }
     }
 
@@ -730,7 +753,10 @@ mod tests {
             }
         }
         assert!(moving > 0, "node must actually drive");
-        assert!(paused > 0, "with 30% stop probability some pauses must happen");
+        assert!(
+            paused > 0,
+            "with 30% stop probability some pauses must happen"
+        );
     }
 
     #[test]
@@ -777,12 +803,19 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(node.speed(), 0.0, "30% stop probability must pause eventually");
+        assert_eq!(
+            node.speed(),
+            0.0,
+            "30% stop probability must pause eventually"
+        );
         let before = node.time_to_transition();
         assert!(before > SimDuration::ZERO);
         node.advance(SimDuration::from_millis(100), &mut rng);
         if node.speed() == 0.0 {
-            assert_eq!(node.time_to_transition(), before - SimDuration::from_millis(100));
+            assert_eq!(
+                node.time_to_transition(),
+                before - SimDuration::from_millis(100)
+            );
         }
     }
 

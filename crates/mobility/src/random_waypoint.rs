@@ -227,7 +227,11 @@ mod tests {
         let mut node = RandomWaypoint::new(config, &mut rng);
         for _ in 0..10_000 {
             node.advance(SimDuration::from_millis(500), &mut rng);
-            assert!(config.area.contains(node.position()), "escaped to {}", node.position());
+            assert!(
+                config.area.contains(node.position()),
+                "escaped to {}",
+                node.position()
+            );
         }
     }
 
@@ -263,19 +267,18 @@ mod tests {
             let moved = before.distance(node.position());
             // At 10 m/s for 1 s a node covers at most 10 m (less when pausing or
             // when it reaches a waypoint mid-step and pauses).
-            assert!(moved <= 10.0 + 1e-6, "moved {moved} m in one second at 10 m/s");
+            assert!(
+                moved <= 10.0 + 1e-6,
+                "moved {moved} m in one second at 10 m/s"
+            );
         }
     }
 
     #[test]
     fn eventually_pauses_at_waypoints() {
         let mut rng = SimRng::seed_from(11);
-        let config = RandomWaypointConfig::new(
-            Area::square(50.0),
-            5.0,
-            5.0,
-            SimDuration::from_secs(3),
-        );
+        let config =
+            RandomWaypointConfig::new(Area::square(50.0), 5.0, 5.0, SimDuration::from_secs(3));
         let mut node = RandomWaypoint::new(config, &mut rng);
         let mut seen_pause = false;
         for _ in 0..500 {
@@ -284,7 +287,10 @@ mod tests {
                 seen_pause = true;
             }
         }
-        assert!(seen_pause, "a node in a 50 m box at 5 m/s must reach waypoints and pause");
+        assert!(
+            seen_pause,
+            "a node in a 50 m box at 5 m/s must reach waypoints and pause"
+        );
     }
 
     #[test]
@@ -299,7 +305,10 @@ mod tests {
             .collect();
         let min = speeds.iter().copied().fold(f64::INFINITY, f64::min);
         let max = speeds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 5.0, "20 heterogeneous nodes should span a wide speed range");
+        assert!(
+            max - min > 5.0,
+            "20 heterogeneous nodes should span a wide speed range"
+        );
         assert!(speeds.iter().all(|s| (1.0..=40.0).contains(s)));
     }
 
@@ -344,8 +353,7 @@ mod tests {
         assert_eq!(node.time_to_transition(), expected);
         // Parked forever at 0 m/s: never transitions.
         let mut rng = SimRng::seed_from(21);
-        let parked =
-            RandomWaypoint::new(RandomWaypointConfig::paper_fixed_speed(0.0), &mut rng);
+        let parked = RandomWaypoint::new(RandomWaypointConfig::paper_fixed_speed(0.0), &mut rng);
         assert_eq!(parked.time_to_transition(), SimDuration::MAX);
     }
 
@@ -356,12 +364,8 @@ mod tests {
         // time in one chunked advance is bit-identical (state and RNG stream)
         // to tick-by-tick advances.
         let mut rng = SimRng::seed_from(33);
-        let config = RandomWaypointConfig::new(
-            Area::square(50.0),
-            5.0,
-            5.0,
-            SimDuration::from_secs(10),
-        );
+        let config =
+            RandomWaypointConfig::new(Area::square(50.0), 5.0, 5.0, SimDuration::from_secs(10));
         let mut node = RandomWaypoint::new(config, &mut rng);
         let tick = SimDuration::from_millis(500);
         while node.speed() > 0.0 {
@@ -384,7 +388,10 @@ mod tests {
         assert_eq!(ticked.position(), chunked.position());
         assert_eq!(ticked.speed(), chunked.speed());
         assert_eq!(ticked.time_to_transition(), chunked.time_to_transition());
-        assert_eq!(ticked_rng.uniform_u64(0, u64::MAX), chunked_rng.uniform_u64(0, u64::MAX));
+        assert_eq!(
+            ticked_rng.uniform_u64(0, u64::MAX),
+            chunked_rng.uniform_u64(0, u64::MAX)
+        );
     }
 }
 

@@ -144,7 +144,8 @@ impl<M: MobilityModel> MobilityModel for TraceRecorder<M> {
     fn advance(&mut self, dt: SimDuration, rng: &mut SimRng) {
         self.inner.advance(dt, rng);
         self.now += dt;
-        self.trace.push(self.now, self.inner.position(), self.inner.speed());
+        self.trace
+            .push(self.now, self.inner.position(), self.inner.speed());
     }
 }
 
@@ -202,10 +203,16 @@ mod tests {
         trace.push(SimTime::ZERO, Point::new(0.0, 0.0), 1.0);
         trace.push(SimTime::from_secs(10), Point::new(100.0, 0.0), 1.0);
         assert_eq!(trace.len(), 2);
-        assert_eq!(trace.position_at(SimTime::from_secs(5)), Some(Point::new(50.0, 0.0)));
+        assert_eq!(
+            trace.position_at(SimTime::from_secs(5)),
+            Some(Point::new(50.0, 0.0))
+        );
         assert_eq!(trace.position_at(SimTime::ZERO), Some(Point::new(0.0, 0.0)));
         // Clamping outside the range.
-        assert_eq!(trace.position_at(SimTime::from_secs(99)), Some(Point::new(100.0, 0.0)));
+        assert_eq!(
+            trace.position_at(SimTime::from_secs(99)),
+            Some(Point::new(100.0, 0.0))
+        );
         assert_eq!(trace.total_distance(), 100.0);
     }
 
@@ -238,12 +245,8 @@ mod tests {
     #[test]
     fn replay_matches_recording_at_sample_points() {
         let mut rng = SimRng::seed_from(77);
-        let config = RandomWaypointConfig::new(
-            Area::square(500.0),
-            5.0,
-            15.0,
-            SimDuration::from_secs(1),
-        );
+        let config =
+            RandomWaypointConfig::new(Area::square(500.0), 5.0, 15.0, SimDuration::from_secs(1));
         let node = RandomWaypoint::new(config, &mut rng);
         let mut rec = TraceRecorder::new(node);
         let dt = SimDuration::from_millis(250);
@@ -260,7 +263,10 @@ mod tests {
         for expected in recorded_positions.iter().skip(1) {
             replay.advance(dt, &mut replay_rng);
             let got = replay.position();
-            assert!(got.distance(*expected) < 1e-6, "replay diverged: {got} vs {expected}");
+            assert!(
+                got.distance(*expected) < 1e-6,
+                "replay diverged: {got} vs {expected}"
+            );
         }
     }
 

@@ -141,7 +141,10 @@ impl SpatialGrid {
 }
 
 fn cell_of(p: Point, cell_size: f64) -> Cell {
-    ((p.x / cell_size).floor() as i64, (p.y / cell_size).floor() as i64)
+    (
+        (p.x / cell_size).floor() as i64,
+        (p.y / cell_size).floor() as i64,
+    )
 }
 
 #[cfg(test)]

@@ -283,7 +283,10 @@ impl RadioMedium {
     /// Marks `tx` completed and returns a copy of its record.
     fn take_current(&mut self, tx: TxId) -> Transmission {
         let idx = *self.tx_index.get(&tx).expect("unknown transmission id");
-        assert!(!self.transmissions[idx].completed, "transmission completed twice");
+        assert!(
+            !self.transmissions[idx].completed,
+            "transmission completed twice"
+        );
         self.transmissions[idx].completed = true;
         self.transmissions[idx].clone()
     }
@@ -412,7 +415,11 @@ mod tests {
         let outcomes = medium.complete_transmission(tx, &mut rng);
         assert_eq!(outcomes, vec![(1, ReceptionOutcome::Received)]);
         assert_eq!(medium.counters(1).frames_received, 1);
-        assert_eq!(medium.counters(2).frames_received, 0, "node 2 is out of range");
+        assert_eq!(
+            medium.counters(2).frames_received,
+            0,
+            "node 2 is out of range"
+        );
         assert_eq!(medium.counters(0).frames_sent, 1);
         assert_eq!(medium.counters(0).bytes_sent, 400);
     }
@@ -470,8 +477,12 @@ mod tests {
         // Second transmission starts strictly after the first ended.
         let (tx_b, _) = medium.begin_transmission(2, 400, end_a + SimDuration::from_millis(5));
         let b = medium.complete_transmission(tx_b, &mut rng);
-        assert!(a.iter().any(|&(r, o)| r == 1 && o == ReceptionOutcome::Received));
-        assert!(b.iter().any(|&(r, o)| r == 1 && o == ReceptionOutcome::Received));
+        assert!(a
+            .iter()
+            .any(|&(r, o)| r == 1 && o == ReceptionOutcome::Received));
+        assert!(b
+            .iter()
+            .any(|&(r, o)| r == 1 && o == ReceptionOutcome::Received));
     }
 
     #[test]
@@ -499,16 +510,21 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let (tx, _) = medium.begin_transmission(0, 100, SimTime::ZERO);
         let outcomes = medium.complete_transmission(tx, &mut rng);
-        assert!(outcomes.contains(&(1, ReceptionOutcome::Received)), "inner node unaffected");
-        assert!(outcomes.contains(&(2, ReceptionOutcome::FringeLoss)), "fringe node loses");
+        assert!(
+            outcomes.contains(&(1, ReceptionOutcome::Received)),
+            "inner node unaffected"
+        );
+        assert!(
+            outcomes.contains(&(2, ReceptionOutcome::FringeLoss)),
+            "fringe node loses"
+        );
         assert_eq!(medium.counters(2).frames_lost_fringe, 1);
     }
 
     #[test]
     fn byte_accounting_includes_overhead() {
         let pos = positions(&[(0.0, 0.0), (50.0, 0.0)]);
-        let mut medium =
-            RadioMedium::with_positions(RadioConfig::paper_random_waypoint(), &pos);
+        let mut medium = RadioMedium::with_positions(RadioConfig::paper_random_waypoint(), &pos);
         let mut rng = SimRng::seed_from(1);
         let (tx, _) = medium.begin_transmission(0, 400, SimTime::ZERO);
         medium.complete_transmission(tx, &mut rng);

@@ -30,7 +30,10 @@ pub fn dbm_to_mw(dbm: f64) -> f64 {
 ///
 /// Panics if `mw` is not strictly positive.
 pub fn mw_to_dbm(mw: f64) -> f64 {
-    assert!(mw > 0.0, "power must be positive to express in dBm, got {mw}");
+    assert!(
+        mw > 0.0,
+        "power must be positive to express in dBm, got {mw}"
+    );
     10.0 * mw.log10()
 }
 
@@ -147,7 +150,10 @@ mod tests {
     #[test]
     fn wavelength_at_2_4_ghz() {
         let l = wavelength(2.4e9);
-        assert!((l - 0.1249).abs() < 1e-3, "2.4 GHz wavelength should be ~12.5 cm, got {l}");
+        assert!(
+            (l - 0.1249).abs() < 1e-3,
+            "2.4 GHz wavelength should be ~12.5 cm, got {l}"
+        );
     }
 
     #[test]
@@ -177,7 +183,11 @@ mod tests {
         // +12 dB per doubling of distance in the two-ray regime.
         let a = two_ray_path_loss_db(2_000.0, f, 1.5, 1.5);
         let b = two_ray_path_loss_db(4_000.0, f, 1.5, 1.5);
-        assert!((b - a - 12.04).abs() < 0.2, "two-ray should lose ~12 dB per doubling, got {}", b - a);
+        assert!(
+            (b - a - 12.04).abs() < 0.2,
+            "two-ray should lose ~12 dB per doubling, got {}",
+            b - a
+        );
     }
 
     #[test]
@@ -195,8 +205,14 @@ mod tests {
         let f = 2.4e9;
         let far = two_ray_range_m(15.0, -93.0, f, 0.8, 1.5, 1.5);
         let near = two_ray_range_m(15.0, -83.0, f, 0.8, 1.5, 1.5);
-        assert!(far > near, "-93 dBm sensitivity must out-range -83 dBm ({far} vs {near})");
-        assert!(far > 100.0 && far < 5_000.0, "2.4 GHz two-ray range should be a few hundred meters, got {far}");
+        assert!(
+            far > near,
+            "-93 dBm sensitivity must out-range -83 dBm ({far} vs {near})"
+        );
+        assert!(
+            far > 100.0 && far < 5_000.0,
+            "2.4 GHz two-ray range should be a few hundred meters, got {far}"
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub enum BitRate {
 
 impl BitRate {
     /// All rates, slowest first.
-    pub const ALL: [BitRate; 4] = [BitRate::Mbps1, BitRate::Mbps2, BitRate::Mbps6, BitRate::Mbps11];
+    pub const ALL: [BitRate; 4] = [
+        BitRate::Mbps1,
+        BitRate::Mbps2,
+        BitRate::Mbps6,
+        BitRate::Mbps11,
+    ];
 
     /// The rate in bits per second.
     pub fn bits_per_second(self) -> f64 {
@@ -121,14 +126,7 @@ impl RadioConfig {
     /// paper's reported radii. Useful to validate that the reported radii are
     /// consistent with the physics (see tests).
     pub fn derived_from_link_budget(bit_rate: BitRate) -> Self {
-        let range = two_ray_range_m(
-            15.0,
-            bit_rate.paper_sensitivity_dbm(),
-            2.4e9,
-            0.8,
-            1.5,
-            1.5,
-        );
+        let range = two_ray_range_m(15.0, bit_rate.paper_sensitivity_dbm(), 2.4e9, 0.8, 1.5, 1.5);
         RadioConfig {
             bit_rate,
             range_m: range,
@@ -207,8 +205,10 @@ mod tests {
         assert!(large > small);
         // 400-byte event + 58 bytes overhead at 2 Mbps ≈ 1.8 ms.
         let event = cfg.air_time(400);
-        assert!(event >= SimDuration::from_millis(1) && event <= SimDuration::from_millis(4),
-            "unexpected air time {event}");
+        assert!(
+            event >= SimDuration::from_millis(1) && event <= SimDuration::from_millis(4),
+            "unexpected air time {event}"
+        );
         let fast = RadioConfig {
             bit_rate: BitRate::Mbps11,
             ..cfg.clone()

@@ -34,9 +34,7 @@ impl From<u64> for ProcessId {
 /// The paper exchanges event identifiers (128 bits on the wire) instead of full
 /// events to avoid redundant transmissions; [`EventId::WIRE_SIZE_BYTES`] is the
 /// size used for bandwidth accounting.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EventId {
     /// The process that published the event.
     pub publisher: ProcessId,
@@ -166,16 +164,28 @@ mod tests {
         assert_eq!(e.expires_at(), SimTime::from_secs(160));
         assert!(e.is_valid_at(SimTime::from_secs(100)));
         assert!(e.is_valid_at(SimTime::from_secs(159)));
-        assert!(!e.is_valid_at(SimTime::from_secs(160)), "expiry instant is exclusive");
+        assert!(
+            !e.is_valid_at(SimTime::from_secs(160)),
+            "expiry instant is exclusive"
+        );
         assert!(!e.is_valid_at(SimTime::from_secs(1000)));
     }
 
     #[test]
     fn remaining_validity_counts_down_to_zero() {
         let e = event(60);
-        assert_eq!(e.remaining_validity(SimTime::from_secs(100)), SimDuration::from_secs(60));
-        assert_eq!(e.remaining_validity(SimTime::from_secs(130)), SimDuration::from_secs(30));
-        assert_eq!(e.remaining_validity(SimTime::from_secs(200)), SimDuration::ZERO);
+        assert_eq!(
+            e.remaining_validity(SimTime::from_secs(100)),
+            SimDuration::from_secs(60)
+        );
+        assert_eq!(
+            e.remaining_validity(SimTime::from_secs(130)),
+            SimDuration::from_secs(30)
+        );
+        assert_eq!(
+            e.remaining_validity(SimTime::from_secs(200)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

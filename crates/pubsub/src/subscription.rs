@@ -140,7 +140,10 @@ mod tests {
         let mut subs = SubscriptionSet::new();
         assert!(subs.is_empty());
         assert!(subs.subscribe(t(".a")));
-        assert!(!subs.subscribe(t(".a")), "duplicate subscription reports false");
+        assert!(
+            !subs.subscribe(t(".a")),
+            "duplicate subscription reports false"
+        );
         assert_eq!(subs.len(), 1);
         assert!(subs.unsubscribe(&t(".a")));
         assert!(!subs.unsubscribe(&t(".a")));
@@ -152,7 +155,10 @@ mod tests {
         let subs = SubscriptionSet::single(t(".T0.T1"));
         assert!(subs.matches(&t(".T0.T1")));
         assert!(subs.matches(&t(".T0.T1.T2")));
-        assert!(!subs.matches(&t(".T0")), "events on an ancestor topic are parasite events");
+        assert!(
+            !subs.matches(&t(".T0")),
+            "events on an ancestor topic are parasite events"
+        );
         assert!(!subs.matches(&t(".T0.T4")));
         assert!(!SubscriptionSet::new().matches(&t(".T0")));
     }

@@ -234,8 +234,14 @@ mod tests {
 
     #[test]
     fn error_messages_are_descriptive() {
-        assert!(Topic::parse(".a b").unwrap_err().to_string().contains("invalid character"));
-        assert!(Topic::parse("x").unwrap_err().to_string().contains("root dot"));
+        assert!(Topic::parse(".a b")
+            .unwrap_err()
+            .to_string()
+            .contains("invalid character"));
+        assert!(Topic::parse("x")
+            .unwrap_err()
+            .to_string()
+            .contains("root dot"));
     }
 
     #[test]

@@ -159,7 +159,11 @@ mod tests {
         tree.insert(&t(".T0.T1"), "b");
         tree.insert(&t(".T0.T1.T2"), "c");
         tree.insert(&t(".T3"), "d");
-        let under_t0_t1: Vec<_> = tree.subtree(&t(".T0.T1")).into_iter().map(|(_, v)| *v).collect();
+        let under_t0_t1: Vec<_> = tree
+            .subtree(&t(".T0.T1"))
+            .into_iter()
+            .map(|(_, v)| *v)
+            .collect();
         assert_eq!(under_t0_t1, vec!["b", "c"]);
         let under_root: Vec<_> = tree.iter().into_iter().map(|(_, v)| *v).collect();
         assert_eq!(under_root.len(), 4);

@@ -77,7 +77,10 @@ impl SimRng {
     /// Panics if `low > high` or either bound is not finite.
     pub fn uniform_f64(&mut self, low: f64, high: f64) -> f64 {
         assert!(low.is_finite() && high.is_finite(), "bounds must be finite");
-        assert!(low <= high, "uniform_f64 requires low <= high, got {low} > {high}");
+        assert!(
+            low <= high,
+            "uniform_f64 requires low <= high, got {low} > {high}"
+        );
         if low == high {
             return low;
         }
@@ -90,7 +93,10 @@ impl SimRng {
     ///
     /// Panics if `low > high`.
     pub fn uniform_u64(&mut self, low: u64, high: u64) -> u64 {
-        assert!(low <= high, "uniform_u64 requires low <= high, got {low} > {high}");
+        assert!(
+            low <= high,
+            "uniform_u64 requires low <= high, got {low} > {high}"
+        );
         self.inner.gen_range(low..=high)
     }
 
@@ -233,7 +239,10 @@ mod tests {
         let mut a = SimRng::seed_from(7);
         let mut b = SimRng::seed_from(8);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 4, "independent seeds should rarely collide, got {same}/64");
+        assert!(
+            same < 4,
+            "independent seeds should rarely collide, got {same}/64"
+        );
     }
 
     #[test]
@@ -278,7 +287,10 @@ mod tests {
             seen_low |= v == 0;
             seen_high |= v == 3;
         }
-        assert!(seen_low && seen_high, "both endpoints should eventually appear");
+        assert!(
+            seen_low && seen_high,
+            "both endpoints should eventually appear"
+        );
     }
 
     #[test]
@@ -289,7 +301,10 @@ mod tests {
         assert!(!rng.chance(-3.0));
         assert!(rng.chance(7.0));
         let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
-        assert!((1800..3200).contains(&hits), "p=0.25 over 10k trials gave {hits}");
+        assert!(
+            (1800..3200).contains(&hits),
+            "p=0.25 over 10k trials gave {hits}"
+        );
     }
 
     #[test]

@@ -179,7 +179,10 @@ impl Summary {
 ///
 /// Panics if `p` is outside `[0, 100]` or any value is NaN.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100], got {p}");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be in [0, 100], got {p}"
+    );
     if values.is_empty() {
         return None;
     }
@@ -221,7 +224,9 @@ mod tests {
 
     #[test]
     fn mean_and_stddev_match_reference() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         let sum = s.summary();
         assert!((sum.mean - 5.0).abs() < 1e-12);
         // sample std dev of that classic dataset is sqrt(32/7)

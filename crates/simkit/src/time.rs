@@ -315,8 +315,14 @@ mod tests {
         assert_eq!((t - d).as_millis(), 6_000);
         assert_eq!(t - SimTime::from_secs(4), SimDuration::from_secs(6));
         // subtraction saturates rather than underflowing
-        assert_eq!(SimTime::from_secs(1) - SimDuration::from_secs(5), SimTime::ZERO);
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimDuration::from_secs(5),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -341,7 +347,10 @@ mod tests {
 
     #[test]
     fn saturating_behaviour() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::from_secs(2).saturating_since(SimTime::from_secs(5)),
             SimDuration::ZERO
@@ -351,7 +360,10 @@ mod tests {
             SimTime::from_secs(1).checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(2))
         );
-        assert_eq!(SimDuration::from_secs(1).checked_sub(SimDuration::from_secs(2)), None);
+        assert_eq!(
+            SimDuration::from_secs(1).checked_sub(SimDuration::from_secs(2)),
+            None
+        );
     }
 
     #[test]

@@ -12,10 +12,14 @@ use manet_sim::experiments::city::{fig13, fig16, CityConfig};
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper");
     let config = if paper_scale {
-        println!("Running the full paper methodology (30 seeds x 15 publishers) — this takes a while.\n");
+        println!(
+            "Running the full paper methodology (30 seeds x 15 publishers) — this takes a while.\n"
+        );
         CityConfig::paper()
     } else {
-        println!("Running the reduced smoke-test configuration (pass --paper for the full sweep).\n");
+        println!(
+            "Running the reduced smoke-test configuration (pass --paper for the full sweep).\n"
+        );
         CityConfig::quick()
     };
 

@@ -29,9 +29,16 @@ struct Car {
 
 /// Simulation events: protocol timers, mobility ticks and scripted publications.
 enum Happening {
-    Timer { car: usize, kind: TimerKind },
+    Timer {
+        car: usize,
+        kind: TimerKind,
+    },
     MobilityTick,
-    LeaveParking { car: usize, district: &'static str, free_for: SimDuration },
+    LeaveParking {
+        car: usize,
+        district: &'static str,
+        free_for: SimDuration,
+    },
 }
 
 /// Radio range of the cars' Wi-Fi in the city (the paper's 44 m).
@@ -73,7 +80,10 @@ fn main() {
     for (i, car) in cars.iter_mut().enumerate() {
         let mut actions = Vec::new();
         for &district in subscriptions[i] {
-            actions.extend(car.protocol.subscribe(district_topics[district].clone(), now));
+            actions.extend(
+                car.protocol
+                    .subscribe(district_topics[district].clone(), now),
+            );
         }
         pending.push((i, actions));
     }
@@ -82,11 +92,19 @@ fn main() {
     // erin frees one in the south after 60 s.
     queue.schedule(
         SimTime::from_secs(20),
-        Happening::LeaveParking { car: 1, district: "center", free_for: SimDuration::from_secs(120) },
+        Happening::LeaveParking {
+            car: 1,
+            district: "center",
+            free_for: SimDuration::from_secs(120),
+        },
     );
     queue.schedule(
         SimTime::from_secs(60),
-        Happening::LeaveParking { car: 4, district: "south", free_for: SimDuration::from_secs(90) },
+        Happening::LeaveParking {
+            car: 4,
+            district: "south",
+            free_for: SimDuration::from_secs(90),
+        },
     );
     queue.schedule(SimTime::ZERO + MOBILITY_TICK, Happening::MobilityTick);
 
@@ -132,7 +150,8 @@ fn main() {
                     if let Some(handle) = timers.remove(&(sender, kind)) {
                         queue.cancel(handle);
                     }
-                    let handle = queue.schedule(now + after, Happening::Timer { car: sender, kind });
+                    let handle =
+                        queue.schedule(now + after, Happening::Timer { car: sender, kind });
                     timers.insert((sender, kind), handle);
                 }
                 Action::CancelTimer(kind) => {
@@ -156,7 +175,12 @@ fn main() {
         match happening {
             Happening::MobilityTick => {
                 for car in cars.iter_mut() {
-                    let Car { mobility, rng, protocol, .. } = car;
+                    let Car {
+                        mobility,
+                        rng,
+                        protocol,
+                        ..
+                    } = car;
                     mobility.advance(MOBILITY_TICK, rng);
                     protocol.update_speed(Some(mobility.speed()));
                 }
@@ -169,7 +193,11 @@ fn main() {
                 let actions = cars[car].protocol.handle_timer(kind, now);
                 apply(car, actions, &mut cars, &mut queue, &mut timers, now);
             }
-            Happening::LeaveParking { car, district, free_for } => {
+            Happening::LeaveParking {
+                car,
+                district,
+                free_for,
+            } => {
                 let topic: Topic = format!(".parking.{district}").parse().expect("valid topic");
                 println!(
                     "[{:>5.1}s] {} leaves a parking spot in the {} district (free for ~{}s)",
@@ -189,7 +217,10 @@ fn main() {
         let metrics = car.protocol.metrics();
         println!(
             "  {:<6} delivered {} spot announcement(s), saw {} duplicate(s), {} parasite(s)",
-            car.name, metrics.events_delivered, metrics.duplicates_received, metrics.parasites_received
+            car.name,
+            metrics.events_delivered,
+            metrics.duplicates_received,
+            metrics.parasites_received
         );
     }
     println!("\nCars only stored and forwarded announcements for districts they care about —");

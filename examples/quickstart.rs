@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use frugal::{FloodingPolicy, ProtocolConfig};
-use manet_sim::{
-    MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder, World,
-};
+use manet_sim::{MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder, World};
 use mobility::Area;
 use netsim::RadioConfig;
 use simkit::{SimDuration, SimTime};

@@ -10,7 +10,9 @@ use manet_sim::{
     run_scenario_reports, run_scenario_reports_with_workers, MobilityKind, ProtocolKind,
     Publication, PublisherChoice, ScenarioBuilder, SeedPlan, World, WorldArena,
 };
-use mobility::{Area, CitySection, CitySectionConfig, MobilityModel, RandomWaypoint, RandomWaypointConfig};
+use mobility::{
+    Area, CitySection, CitySectionConfig, MobilityModel, RandomWaypoint, RandomWaypointConfig,
+};
 use netsim::RadioConfig;
 use simkit::{SimDuration, SimRng, SimTime};
 
@@ -128,15 +130,16 @@ fn grid_medium_reproduces_pre_refactor_reports_seed_for_seed() {
         (2, 0xc939_0e01_c5ee_f665),
         (3, 0x74f6_1c0c_4ee7_d8f4),
     ];
-    let golden_city: [(u64, u64); 2] =
-        [(1, 0x6a30_3cfc_0f5c_ff07), (2, 0xba03_a064_ba51_b36e)];
-    let golden_flooding: [(u64, u64); 2] =
-        [(1, 0x38ff_8d89_0aea_6c14), (2, 0xf04a_0638_c789_c1bf)];
+    let golden_city: [(u64, u64); 2] = [(1, 0x6a30_3cfc_0f5c_ff07), (2, 0xba03_a064_ba51_b36e)];
+    let golden_flooding: [(u64, u64); 2] = [(1, 0x38ff_8d89_0aea_6c14), (2, 0xf04a_0638_c789_c1bf)];
 
     for (seed, expected) in golden_rw {
         let s = scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()), rw());
         let got = fingerprint(&World::new(s, seed).unwrap().run());
-        assert_eq!(got, expected, "random-waypoint report changed for seed {seed}: {got:#018x}");
+        assert_eq!(
+            got, expected,
+            "random-waypoint report changed for seed {seed}: {got:#018x}"
+        );
     }
     for (seed, expected) in golden_city {
         let s = scenario(
@@ -144,12 +147,18 @@ fn grid_medium_reproduces_pre_refactor_reports_seed_for_seed() {
             MobilityKind::CityCampus,
         );
         let got = fingerprint(&World::new(s, seed).unwrap().run());
-        assert_eq!(got, expected, "city report changed for seed {seed}: {got:#018x}");
+        assert_eq!(
+            got, expected,
+            "city report changed for seed {seed}: {got:#018x}"
+        );
     }
     for (seed, expected) in golden_flooding {
         let s = scenario(ProtocolKind::Flooding(FloodingPolicy::Simple), rw());
         let got = fingerprint(&World::new(s, seed).unwrap().run());
-        assert_eq!(got, expected, "flooding report changed for seed {seed}: {got:#018x}");
+        assert_eq!(
+            got, expected,
+            "flooding report changed for seed {seed}: {got:#018x}"
+        );
     }
 }
 

@@ -19,7 +19,10 @@ fn fig11_quick_sweep_has_the_expected_shape() {
     assert_eq!(table.columns().len(), 2, "one column per validity");
     for (_, values) in table.rows() {
         for value in values {
-            assert!((0.0..=1.0).contains(value), "reliability must be a probability");
+            assert!(
+                (0.0..=1.0).contains(value),
+                "reliability must be a probability"
+            );
         }
     }
 }

@@ -2,9 +2,7 @@
 //! simulation world (mobility + radio + scheduler).
 
 use frugal::ProtocolConfig;
-use manet_sim::{
-    MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder, World,
-};
+use manet_sim::{MobilityKind, ProtocolKind, Publication, PublisherChoice, ScenarioBuilder, World};
 use mobility::Area;
 use netsim::RadioConfig;
 use simkit::{SimDuration, SimTime};
@@ -134,7 +132,10 @@ fn traffic_accounting_is_plausible() {
         let total_sent: u64 = report.nodes.iter().map(|n| n.traffic.bytes_sent).sum();
         assert!(node.traffic.bytes_received <= total_sent);
         // Every node beacons, so every node must have sent something.
-        assert!(node.traffic.frames_sent > 0, "every subscriber beacons heartbeats");
+        assert!(
+            node.traffic.frames_sent > 0,
+            "every subscriber beacons heartbeats"
+        );
     }
     assert!(report.bandwidth_kb_per_process() > 0.0);
 }

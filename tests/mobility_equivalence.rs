@@ -53,7 +53,11 @@ fn check_model_equivalence<M: MobilityModel + Clone>(
                 dirty.position(),
                 "positions diverged at tick {step}"
             );
-            assert_eq!(naive.speed(), dirty.speed(), "speeds diverged at tick {step}");
+            assert_eq!(
+                naive.speed(),
+                dirty.speed(),
+                "speeds diverged at tick {step}"
+            );
         } else {
             // Skipped: the naive node must not have moved either.
             assert_eq!(
@@ -61,7 +65,11 @@ fn check_model_equivalence<M: MobilityModel + Clone>(
                 dirty.position(),
                 "naive node moved during a skipped tick {step}"
             );
-            assert_eq!(naive.speed(), 0.0, "skipped node must be idle at tick {step}");
+            assert_eq!(
+                naive.speed(),
+                0.0,
+                "skipped node must be idle at tick {step}"
+            );
         }
     }
     // The RNG streams must still be in lockstep after the whole walk.

@@ -188,7 +188,9 @@ where
     // cannot interleave take_hook/set_hook pairs and leave the silent hook
     // installed for the rest of the run.
     static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    let guard = HOOK_GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let guard = HOOK_GUARD
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let saved_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let mut current = initial;
@@ -367,7 +369,10 @@ mod tests {
         assert!(crate::__check_case(&97, &body).is_err());
         let (minimal, steps) = crate::__shrink_failure(&strategy, 97, &body);
         assert!(minimal >= 10, "shrunk value must still fail, got {minimal}");
-        assert!(minimal <= 24, "halving from 97 should get near 10, got {minimal}");
+        assert!(
+            minimal <= 24,
+            "halving from 97 should get near 10, got {minimal}"
+        );
         assert!(steps > 0);
     }
 
@@ -409,8 +414,7 @@ mod tests {
         // final element's arm — shrinking a 150 through the 0..10 arm yields
         // values like 75 that belong to *neither* arm. Value-keyed provenance
         // must keep every candidate inside a real arm's range.
-        let strategy =
-            crate::collection::vec(prop_oneof![0u32..10, 100u32..200], 2..4);
+        let strategy = crate::collection::vec(prop_oneof![0u32..10, 100u32..200], 2..4);
         let body = |v: Vec<u32>| assert!(v.iter().all(|&x| x < 100), "big: {v:?}");
         let mut rng = crate::test_rng("nested-union-shrink");
         // Find a failing sample whose *last* element comes from the small arm
@@ -423,12 +427,13 @@ mod tests {
         };
         let (minimal, _) = crate::__shrink_failure(&strategy, failing, &body);
         assert!(
-            minimal
-                .iter()
-                .all(|&x| x < 10 || (100..200).contains(&x)),
+            minimal.iter().all(|&x| x < 10 || (100..200).contains(&x)),
             "shrink escaped both arms: {minimal:?}"
         );
-        assert!(minimal.contains(&100), "arm-1 elements must reach 100: {minimal:?}");
+        assert!(
+            minimal.contains(&100),
+            "arm-1 elements must reach 100: {minimal:?}"
+        );
         assert_eq!(minimal.len(), 2, "vec must shrink to its minimum length");
     }
 
@@ -437,8 +442,7 @@ mod tests {
         // Fails whenever the vec has 3+ elements: shrinking must reach 3.
         let strategy = crate::collection::vec(0u8..200, 0..10);
         let body = |v: Vec<u8>| assert!(v.len() < 3);
-        let (minimal, _) =
-            crate::__shrink_failure(&strategy, vec![9, 8, 7, 6, 5, 4, 3], &body);
+        let (minimal, _) = crate::__shrink_failure(&strategy, vec![9, 8, 7, 6, 5, 4, 3], &body);
         assert_eq!(minimal.len(), 3);
     }
 

@@ -182,7 +182,10 @@ impl<V> Union<V> {
     ///
     /// Panics if `options` is empty.
     pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! requires at least one strategy");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! requires at least one strategy"
+        );
         Union {
             options,
             provenance: std::cell::RefCell::new(Vec::new()),
@@ -359,12 +362,18 @@ fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
                         j += 1;
                     }
                 }
-                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
                 i = close + 1;
                 set
             }
             '\\' => {
-                assert!(i + 1 < chars.len(), "dangling escape in pattern {pattern:?}");
+                assert!(
+                    i + 1 < chars.len(),
+                    "dangling escape in pattern {pattern:?}"
+                );
                 let escaped = chars[i + 1];
                 assert!(
                     !escaped.is_ascii_alphanumeric(),
@@ -511,7 +520,10 @@ mod tests {
                 if arm == 0 {
                     assert!(candidate < 10, "arm-0 candidate {candidate} escaped");
                 } else {
-                    assert!((100..200).contains(&candidate), "arm-1 candidate {candidate} escaped");
+                    assert!(
+                        (100..200).contains(&candidate),
+                        "arm-1 candidate {candidate} escaped"
+                    );
                 }
             }
         }
