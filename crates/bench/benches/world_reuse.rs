@@ -10,9 +10,16 @@
 //! (`WorldArena::checkout` + `run_mut`). Arena reuse must win (see
 //! `BENCH_BASELINE.json`); reports stay bit-identical (pinned by
 //! `tests/integration_determinism.rs`).
+//!
+//! The flooding pair measures the original (PR 3) recycling of world-level
+//! collections; the frugal pair measures *total* recycling (PR 4), where each
+//! node's boxed protocol — its event table, neighborhood maps and metrics —
+//! and mobility state are additionally reset in place instead of rebuilt,
+//! which is where per-seed setup cost actually lives for the paper's
+//! protocol.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use frugal::FloodingPolicy;
+use frugal::{FloodingPolicy, ProtocolConfig};
 use manet_sim::{MobilityKind, ProtocolKind, Scenario, ScenarioBuilder, World, WorldArena};
 use mobility::Area;
 use netsim::RadioConfig;
@@ -22,9 +29,16 @@ use simkit::SimDuration;
 /// publications and no heartbeat timers (flooding protocol), so per-seed cost
 /// is almost entirely world construction.
 fn short_scenario() -> Scenario {
+    short_scenario_with(
+        ProtocolKind::Flooding(FloodingPolicy::Simple),
+        SimDuration::from_secs(1),
+    )
+}
+
+fn short_scenario_with(protocol: ProtocolKind, duration: SimDuration) -> Scenario {
     ScenarioBuilder::new()
         .label("world-reuse")
-        .protocol(ProtocolKind::Flooding(FloodingPolicy::Simple))
+        .protocol(protocol)
         .nodes(500)
         .subscriber_fraction(0.8)
         .mobility(MobilityKind::RandomWaypoint {
@@ -34,7 +48,7 @@ fn short_scenario() -> Scenario {
             pause: SimDuration::from_secs(1),
         })
         .radio(RadioConfig::ideal(150.0))
-        .timing(SimDuration::ZERO, SimDuration::from_secs(1))
+        .timing(SimDuration::ZERO, duration)
         .publications(vec![])
         .mobility_tick(SimDuration::from_millis(500))
         .build()
@@ -67,6 +81,40 @@ fn bench_world_reuse(c: &mut Criterion) {
             seed += 1;
             arena
                 .checkout(&scenario, seed)
+                .expect("valid scenario")
+                .run_mut()
+                .nodes
+                .len()
+        });
+    });
+
+    // Total-recycle pair: 500 frugal protocol instances (event tables,
+    // neighborhood maps, adaptive-delay state) built per seed vs reset in
+    // place by the arena. The virtual window is kept to 100 ms — shorter
+    // than the subscription stagger, so almost nothing runs — to isolate
+    // per-seed setup, which is what a wide parameter sweep pays per point.
+    let frugal = short_scenario_with(
+        ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+        SimDuration::from_millis(100),
+    );
+    let mut seed = 0u64;
+    group.bench_function("fresh_frugal/500", |b| {
+        b.iter(|| {
+            seed += 1;
+            World::new(frugal.clone(), seed)
+                .expect("valid scenario")
+                .run()
+                .nodes
+                .len()
+        });
+    });
+    let mut arena = WorldArena::new();
+    let mut seed = 0u64;
+    group.bench_function("arena_frugal/500", |b| {
+        b.iter(|| {
+            seed += 1;
+            arena
+                .checkout(&frugal, seed)
                 .expect("valid scenario")
                 .run_mut()
                 .nodes

@@ -193,6 +193,13 @@ impl EventTable {
             .map(|s| s.event.id)
     }
 
+    /// Removes every stored event, keeping the capacity configuration. Part of
+    /// the protocol's in-place `reset` when a simulation world is recycled
+    /// across seeds.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Increments the forward counter of `id` (called after the event has been
     /// broadcast). Unknown ids are ignored.
     pub fn increment_forward_count(&mut self, id: &EventId) {
@@ -391,6 +398,18 @@ mod tests {
         assert_eq!(removed, vec![EventId::new(ProcessId(1), 0)]);
         assert_eq!(table.len(), 1);
         assert!(table.remove_expired(SimTime::from_secs(50)).is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut table = EventTable::new(3);
+        table.insert(event(0, ".a", 60), SimTime::ZERO).unwrap();
+        table.insert(event(1, ".a", 60), SimTime::ZERO).unwrap();
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.capacity(), 3);
+        // A cleared table accepts the same ids again (nothing lingers).
+        assert_eq!(table.insert(event(0, ".a", 60), SimTime::ZERO), Ok(None));
     }
 
     #[test]

@@ -36,6 +36,19 @@ impl ProtocolMetrics {
         ProtocolMetrics::default()
     }
 
+    /// Zeroes every counter and forgets every recorded delivery, leaving the
+    /// metrics exactly as freshly constructed. Part of the protocol's in-place
+    /// `reset` when a simulation world is recycled across seeds.
+    pub fn reset(&mut self) {
+        self.events_published = 0;
+        self.events_delivered = 0;
+        self.duplicates_received = 0;
+        self.parasites_received = 0;
+        self.events_sent = 0;
+        self.messages_sent = 0;
+        self.deliveries.clear();
+    }
+
     /// Records the delivery of `id` at `now`. Returns `false` (and counts a
     /// duplicate) if the event had already been delivered.
     pub fn record_delivery(&mut self, id: EventId, now: SimTime) -> bool {
@@ -140,6 +153,19 @@ mod tests {
         m.record_delivery(id(1), SimTime::from_secs(1));
         let order: Vec<u64> = m.deliveries().map(|(e, _)| e.sequence).collect();
         assert_eq!(order, vec![1, 5]);
+    }
+
+    #[test]
+    fn reset_restores_the_freshly_constructed_state() {
+        let mut m = ProtocolMetrics::new();
+        m.record_delivery(id(0), SimTime::from_secs(1));
+        m.record_duplicate();
+        m.record_parasite();
+        m.record_send(2);
+        m.record_publish();
+        m.reset();
+        assert_eq!(m, ProtocolMetrics::new());
+        assert!(!m.has_delivered(&id(0)));
     }
 
     #[test]

@@ -159,7 +159,9 @@ where
         for _ in 0..workers {
             scope.spawn(|| {
                 // One arena per worker: every seed after the first reuses the
-                // previous world's allocations instead of rebuilding them.
+                // previous world's allocations — including each node's boxed
+                // protocol and mobility state, which are reset in place —
+                // instead of rebuilding them.
                 let mut arena = WorldArena::new();
                 loop {
                     let start = next_chunk.fetch_add(chunk_size, Ordering::Relaxed);

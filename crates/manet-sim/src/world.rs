@@ -7,6 +7,17 @@
 //! mobility ticks and scheduled publications. Running a world to completion
 //! yields a [`RunReport`] with the reliability and frugality figures of that
 //! run.
+//!
+//! Mobility is **event-driven**: every node has one entry in an indexed wake
+//! queue ([`IndexedMinQueue`]) keyed by the earliest virtual time its movement
+//! state can change ([`mobility::MobilityModel::time_to_transition`]). A
+//! mobility tick pops and advances only the due nodes — moving nodes and
+//! pauses that just ended — so a tick over a mostly-paused population costs
+//! O(waking · log n) instead of O(nodes). Skipped pause time is caught up in
+//! one exact integer-millisecond chunk, keeping positions, RNG streams and
+//! reports bit-identical to the reference full scan (kept as the doc-hidden
+//! [`World::set_scan_mobility`], itself equivalent to the original
+//! advance-everyone path behind [`World::set_naive_mobility`]).
 
 use crate::report::{EventOutcome, NodeReport, RunReport};
 use crate::scenario::{MobilityKind, ProtocolKind, PublisherChoice, Scenario, ScenarioError};
@@ -20,7 +31,7 @@ use mobility::{
 };
 use netsim::{RadioMedium, ReceptionOutcome, TrafficCounters, TxId};
 use pubsub::{EventId, ProcessId, Topic};
-use simkit::{EventHandle, EventQueue, SimRng, SimTime};
+use simkit::{EventHandle, EventQueue, IndexedMinQueue, SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 
 /// One simulated process: protocol + movement + private randomness.
@@ -74,6 +85,22 @@ struct PublishedRecord {
     topic: Topic,
 }
 
+/// Which implementation a mobility tick uses. All three are semantically
+/// identical (pinned by the equivalence suite); the slower ones are kept as
+/// doc-hidden references for tests and the scaling benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MobilityPath {
+    /// Default: pop only the due nodes from the per-node wake queue —
+    /// O(waking · log n) per tick.
+    EventDriven,
+    /// The pre-wake-queue dirty-tick reference: scan every node, skip the ones
+    /// whose wake time has not come — O(nodes) compares per tick.
+    Scan,
+    /// The original reference: advance every node unconditionally on every
+    /// tick — O(nodes) full advances per tick.
+    Naive,
+}
+
 /// The complete state of one simulation run.
 #[derive(Debug)]
 pub struct World {
@@ -97,11 +124,28 @@ pub struct World {
     warmup_traffic: Option<Vec<TrafficCounters>>,
     /// Wire-size accounting configuration (heartbeat size, header size, ...).
     sizing: ProtocolConfig,
-    /// When `true`, mobility ticks use the pre-dirty-tick reference path that
-    /// advances every node unconditionally. Kept (like
+    /// Which mobility-tick implementation runs. Defaults to the event-driven
+    /// wake queue; the reference paths are kept (like
     /// `RadioMedium::complete_transmission_brute`) for equivalence tests and
-    /// the `mobility_scaling` benchmark.
-    naive_mobility: bool,
+    /// the `wake_scaling` / `mobility_scaling` benchmarks.
+    mobility_path: MobilityPath,
+    /// One entry per **sleeping** node, keyed by its wake time
+    /// (`SimNode::wake`). Moving nodes live in `active` instead — they are
+    /// advanced every tick anyway, so routing them through the heap would
+    /// cost two O(log n) operations per node per tick for nothing. Only
+    /// consulted by the event-driven path; rebuilt on every populate.
+    wake_queue: IndexedMinQueue,
+    /// The nodes currently moving (advanced every tick), ascending index.
+    /// Every node is in exactly one of `active` / `wake_queue`.
+    active: Vec<usize>,
+    /// Scratch: next tick's active list, built during the merge walk.
+    active_scratch: Vec<usize>,
+    /// Scratch: the indices popped as due this tick, sorted ascending so they
+    /// are processed in exactly the order the reference scan visits them.
+    wake_scratch: Vec<usize>,
+    /// Scratch: protocol callback results are drained through this single
+    /// buffer instead of a fresh vector per event.
+    action_scratch: Vec<Action>,
 }
 
 impl World {
@@ -133,7 +177,12 @@ impl World {
             warmup_traffic: None,
             sizing,
             scenario,
-            naive_mobility: false,
+            mobility_path: MobilityPath::EventDriven,
+            wake_queue: IndexedMinQueue::new(),
+            active: Vec::new(),
+            active_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
+            action_scratch: Vec::new(),
         };
         world.populate(seed);
         Ok(world)
@@ -141,9 +190,13 @@ impl World {
 
     /// Re-initializes this world for a fresh run of the **same scenario** with
     /// a different `seed`, recycling every recyclable allocation: the node
-    /// vector, the medium's spatial-grid buckets, traffic counters and
-    /// transmission slab, the event queue, the timer table, and the frame and
-    /// publication records. A reset world produces a report bit-identical to
+    /// vector **including each node's boxed protocol and mobility state**
+    /// (reset in place through [`DisseminationProtocol::reset`] and
+    /// [`mobility::MobilityModel::reset`] — event tables, neighborhood maps
+    /// and flood stores are cleared, not rebuilt), the medium's spatial-grid
+    /// buckets, traffic counters and transmission slab, the event queue, the
+    /// wake queue, the timer table, and the frame and publication records. A
+    /// reset world produces a report bit-identical to
     /// `World::new(scenario, seed)` — that equivalence is pinned by the
     /// integration determinism suite.
     ///
@@ -163,10 +216,67 @@ impl World {
         self.populate(seed);
     }
 
-    /// Builds the per-seed state — nodes, initial positions, and the initial
-    /// event schedule — exactly the same way for a fresh world and a reset
-    /// one. Expects `queue`/`timers`/`frames`/`published` empty, `medium`
-    /// counters zeroed, and `mac_rng` freshly derived for `seed`.
+    /// Builds a node's mobility model, drawing its initial state from the
+    /// node's private stream. [`mobility::MobilityModel::reset`] must stay
+    /// bit-compatible with this for the models that support it.
+    fn build_mobility(
+        kind: &MobilityKind,
+        index: usize,
+        node_count: usize,
+        node_rng: &mut SimRng,
+    ) -> BoxedMobility {
+        match kind {
+            MobilityKind::RandomWaypoint {
+                area,
+                speed_min,
+                speed_max,
+                pause,
+            } => {
+                let config = RandomWaypointConfig::new(*area, *speed_min, *speed_max, *pause);
+                Box::new(RandomWaypoint::new(config, node_rng))
+            }
+            MobilityKind::CityCampus => {
+                let config = CitySectionConfig::paper_campus();
+                Box::new(CitySection::new(config, node_rng))
+            }
+            MobilityKind::Stationary { area } => {
+                Box::new(Stationary::new(area.random_point(node_rng)))
+            }
+            MobilityKind::StationaryLine { length } => {
+                let spacing = if node_count > 1 {
+                    length / (node_count - 1) as f64
+                } else {
+                    0.0
+                };
+                Box::new(Stationary::new(Point::new(index as f64 * spacing, 0.0)))
+            }
+        }
+    }
+
+    /// Builds a node's dissemination protocol instance.
+    fn build_protocol(kind: &ProtocolKind, index: usize) -> Box<dyn DisseminationProtocol> {
+        match kind {
+            ProtocolKind::Frugal(config) => {
+                Box::new(FrugalProtocol::new(ProcessId(index as u64), config.clone()))
+            }
+            ProtocolKind::Flooding(policy) => {
+                Box::new(FloodingProtocol::new(ProcessId(index as u64), *policy))
+            }
+        }
+    }
+
+    /// Builds the per-seed state — nodes, initial positions, the initial
+    /// event schedule and the wake queue — exactly the same way for a fresh
+    /// world and a reset one. Expects `queue`/`timers`/`frames`/`published`
+    /// empty, `medium` counters zeroed, and `mac_rng` freshly derived for
+    /// `seed`.
+    ///
+    /// When the node vector already holds one node per process (an arena
+    /// reset of the same scenario), each node's protocol and mobility boxes
+    /// are reset **in place**; only instances whose `reset` hook declines
+    /// (e.g. [`Stationary`], whose position is drawn here) are rebuilt. The
+    /// RNG draw order is identical either way, so recycled worlds stay
+    /// bit-identical to fresh ones.
     fn populate(&mut self, seed: u64) {
         let master = SimRng::seed_from(seed);
         let mut layout_rng = master.derive(0xA11);
@@ -179,53 +289,51 @@ impl World {
             .into_iter()
             .collect();
 
-        // Build the nodes: protocol + mobility + private RNG stream.
-        self.nodes.clear();
-        self.nodes.reserve(n);
+        // Build (or recycle) the nodes: protocol + mobility + private stream.
+        let recycle = self.nodes.len() == n;
+        if !recycle {
+            self.nodes.clear();
+            self.nodes.reserve(n);
+        }
         for index in 0..n {
             let mut node_rng = master.derive(1000 + index as u64);
-            let mobility: BoxedMobility = match &self.scenario.mobility {
-                MobilityKind::RandomWaypoint {
-                    area,
-                    speed_min,
-                    speed_max,
-                    pause,
-                } => {
-                    let config = RandomWaypointConfig::new(*area, *speed_min, *speed_max, *pause);
-                    Box::new(RandomWaypoint::new(config, &mut node_rng))
+            if recycle {
+                let node = &mut self.nodes[index];
+                if !node.mobility.reset(&mut node_rng) {
+                    node.mobility =
+                        Self::build_mobility(&self.scenario.mobility, index, n, &mut node_rng);
                 }
-                MobilityKind::CityCampus => {
-                    let config = CitySectionConfig::paper_campus();
-                    Box::new(CitySection::new(config, &mut node_rng))
+                if !node.protocol.reset() {
+                    node.protocol = Self::build_protocol(&self.scenario.protocol, index);
                 }
-                MobilityKind::Stationary { area } => {
-                    Box::new(Stationary::new(area.random_point(&mut node_rng)))
-                }
-                MobilityKind::StationaryLine { length } => {
-                    let spacing = if n > 1 { length / (n - 1) as f64 } else { 0.0 };
-                    Box::new(Stationary::new(Point::new(index as f64 * spacing, 0.0)))
-                }
-            };
-            let protocol: Box<dyn DisseminationProtocol> = match &self.scenario.protocol {
-                ProtocolKind::Frugal(config) => {
-                    Box::new(FrugalProtocol::new(ProcessId(index as u64), config.clone()))
-                }
-                ProtocolKind::Flooding(policy) => {
-                    Box::new(FloodingProtocol::new(ProcessId(index as u64), *policy))
-                }
-            };
-            self.medium.update_position(index, mobility.position());
-            self.nodes.push(SimNode {
-                protocol,
-                mobility,
-                rng: node_rng,
-                subscriber: subscriber_indices.contains(&index),
-                last_advance: SimTime::ZERO,
-                // Everyone is advanced at the first tick: it initializes the
-                // protocol's speed and the per-node wake times.
-                wake: SimTime::ZERO,
-            });
+                node.subscriber = subscriber_indices.contains(&index);
+                node.last_advance = SimTime::ZERO;
+                node.wake = SimTime::ZERO;
+                let position = node.mobility.position();
+                node.rng = node_rng;
+                self.medium.update_position(index, position);
+            } else {
+                let mobility =
+                    Self::build_mobility(&self.scenario.mobility, index, n, &mut node_rng);
+                let protocol = Self::build_protocol(&self.scenario.protocol, index);
+                self.medium.update_position(index, mobility.position());
+                self.nodes.push(SimNode {
+                    protocol,
+                    mobility,
+                    rng: node_rng,
+                    subscriber: subscriber_indices.contains(&index),
+                    last_advance: SimTime::ZERO,
+                    // Everyone is advanced at the first tick: it initializes
+                    // the protocol's speed and the per-node wake times.
+                    wake: SimTime::ZERO,
+                });
+            }
         }
+        // Every node is due at the first tick: it initializes the protocol's
+        // speed and sorts each node into `active` or the wake queue.
+        self.wake_queue.clear();
+        self.active.clear();
+        self.active.extend(0..n);
 
         // Stagger the initial subscriptions over one heartbeat period so the
         // network does not start with every node beaconing in the same slot.
@@ -267,13 +375,33 @@ impl World {
         &self.scenario
     }
 
-    /// Forces the pre-dirty-tick mobility path that advances every node on
-    /// every tick. Semantically identical to the default dirty-tick path (an
-    /// equivalence property test pins this); kept for tests and the
-    /// `mobility_scaling` benchmark. Call before [`World::run`].
+    /// Forces the original reference mobility path that fully advances every
+    /// node on every tick. Semantically identical to the default event-driven
+    /// path (an equivalence property test pins this); kept for tests and the
+    /// `mobility_scaling` benchmark. Call before [`World::run`]; `false`
+    /// restores the event-driven default.
     #[doc(hidden)]
     pub fn set_naive_mobility(&mut self, naive: bool) {
-        self.naive_mobility = naive;
+        self.mobility_path = if naive {
+            MobilityPath::Naive
+        } else {
+            MobilityPath::EventDriven
+        };
+    }
+
+    /// Forces the pre-wake-queue dirty-tick reference path that scans every
+    /// node each tick and skips the sleeping ones with one compare each.
+    /// Semantically identical to the default event-driven path (the
+    /// equivalence suite pins this); kept for tests and the `wake_scaling`
+    /// benchmark. Call before [`World::run`]; `false` restores the
+    /// event-driven default.
+    #[doc(hidden)]
+    pub fn set_scan_mobility(&mut self, scan: bool) {
+        self.mobility_path = if scan {
+            MobilityPath::Scan
+        } else {
+            MobilityPath::EventDriven
+        };
     }
 
     /// Runs the simulation to the end of the scenario and returns the report.
@@ -308,46 +436,119 @@ impl World {
     }
 
     fn on_mobility_tick(&mut self) {
-        if self.naive_mobility {
-            self.on_mobility_tick_naive();
-            return;
+        match self.mobility_path {
+            MobilityPath::EventDriven => self.on_mobility_tick_event(),
+            MobilityPath::Scan => self.on_mobility_tick_scan(),
+            MobilityPath::Naive => self.on_mobility_tick_naive(),
         }
+        let next = self.now + self.scenario.mobility_tick;
+        if next <= self.end {
+            self.queue.schedule(next, WorldEvent::MobilityTick);
+        }
+    }
+
+    /// Advances node `index` across the current tick, catching up any skipped
+    /// pause time, and returns its next wake time. Shared by the event-driven
+    /// and scan paths so they are advance-for-advance identical.
+    fn advance_due_node(&mut self, index: usize, now: SimTime, tick: SimDuration) -> SimTime {
+        let node = &mut self.nodes[index];
+        // Catch up pause time skipped since the last advance in one exact
+        // chunk (pure integer-millisecond countdown, no RNG), then replay
+        // the current tick exactly as the naive path would. The chunk
+        // cannot cross the pause end: the node would have woken at the
+        // earlier tick otherwise.
+        let skipped = now - node.last_advance;
+        if skipped > tick {
+            node.mobility.advance(skipped - tick, &mut node.rng);
+        }
+        node.mobility.advance(tick, &mut node.rng);
+        node.last_advance = now;
+        let speed = node.mobility.speed();
+        // Moving nodes are advanced every tick (their position changes);
+        // idle nodes sleep until their phase can end. `speed` is already
+        // in the protocol from the tick the node stopped, so skipped ticks
+        // lose nothing.
+        node.wake = if speed > 0.0 {
+            now
+        } else {
+            now.saturating_add(node.mobility.time_to_transition())
+        };
+        let wake = node.wake;
+        let position = node.mobility.position();
+        node.protocol.update_speed(Some(speed));
+        self.medium.update_position(index, position);
+        wake
+    }
+
+    /// The default event-driven path: advance the moving nodes (the `active`
+    /// list) plus the sleepers whose wake time has come (drained from the
+    /// wake queue), and nothing else. A tick over a mostly-paused population
+    /// never touches the sleeping nodes — not even for a compare — and a
+    /// moving node costs no heap traffic at all: it enters the queue once
+    /// when it stops and leaves it once when its pause can end.
+    fn on_mobility_tick_event(&mut self) {
         let tick = self.scenario.mobility_tick;
         let now = self.now;
-        for (index, node) in self.nodes.iter_mut().enumerate() {
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        woken.clear();
+        while let Some((_, index)) = self.wake_queue.pop_due(now) {
+            woken.push(index);
+        }
+        // Pops arrive in (wake, id) order; the reference scan visits due nodes
+        // in ascending index. Sorting, then merge-walking the (sorted) active
+        // list with the woken list, keeps the two advance-for-advance
+        // identical (grid updates, RNG draws, everything).
+        woken.sort_unstable();
+        let active = std::mem::take(&mut self.active);
+        let mut next_active = std::mem::take(&mut self.active_scratch);
+        next_active.clear();
+        let (mut a, mut w) = (0usize, 0usize);
+        loop {
+            // A node is in exactly one of the two sorted lists, so this is a
+            // plain two-way merge in ascending index.
+            let index = match (active.get(a).copied(), woken.get(w).copied()) {
+                (Some(x), Some(y)) if x < y => {
+                    a += 1;
+                    x
+                }
+                (_, Some(y)) => {
+                    w += 1;
+                    y
+                }
+                (Some(x), None) => {
+                    a += 1;
+                    x
+                }
+                (None, None) => break,
+            };
+            let wake = self.advance_due_node(index, now, tick);
+            if wake <= now {
+                // Still (or again) moving: due at every tick, stay dense.
+                next_active.push(index);
+            } else {
+                self.wake_queue.set(index, wake);
+            }
+        }
+        self.active_scratch = active;
+        self.active = next_active;
+        self.wake_scratch = woken;
+    }
+
+    /// The pre-wake-queue dirty-tick reference path: scans every node and
+    /// skips the ones whose wake time has not come. Semantically identical to
+    /// the event-driven path (the equivalence suite pins this); kept for tests
+    /// and the `wake_scaling` benchmark. See [`World::set_scan_mobility`].
+    fn on_mobility_tick_scan(&mut self) {
+        let tick = self.scenario.mobility_tick;
+        let now = self.now;
+        for index in 0..self.nodes.len() {
             // Dirty-tick skip: a node that is not moving cannot change
             // position or draw randomness before its wake time, so ticks
             // strictly before it are a no-op for this node.
-            if node.wake > now {
+            if self.nodes[index].wake > now {
                 continue;
             }
-            // Catch up pause time skipped since the last advance in one exact
-            // chunk (pure integer-millisecond countdown, no RNG), then replay
-            // the current tick exactly as the naive path would. The chunk
-            // cannot cross the pause end: the node would have woken at the
-            // earlier tick otherwise.
-            let skipped = now - node.last_advance;
-            if skipped > tick {
-                node.mobility.advance(skipped - tick, &mut node.rng);
-            }
-            node.mobility.advance(tick, &mut node.rng);
-            node.last_advance = now;
-            let speed = node.mobility.speed();
-            // Moving nodes are advanced every tick (their position changes);
-            // idle nodes sleep until their phase can end. `speed` is already
-            // in the protocol from the tick the node stopped, so skipped ticks
-            // lose nothing.
-            node.wake = if speed > 0.0 {
-                now
-            } else {
-                now.saturating_add(node.mobility.time_to_transition())
-            };
-            self.medium.update_position(index, node.mobility.position());
-            node.protocol.update_speed(Some(speed));
-        }
-        let next = self.now + tick;
-        if next <= self.end {
-            self.queue.schedule(next, WorldEvent::MobilityTick);
+            self.advance_due_node(index, now, tick);
         }
     }
 
@@ -360,10 +561,6 @@ impl World {
             self.medium.update_position(index, node.mobility.position());
             node.protocol.update_speed(Some(node.mobility.speed()));
         }
-        let next = self.now + tick;
-        if next <= self.end {
-            self.queue.schedule(next, WorldEvent::MobilityTick);
-        }
     }
 
     fn on_subscribe(&mut self, node: usize) {
@@ -373,15 +570,19 @@ impl World {
             self.scenario.bystander_topic.clone()
         };
         let now = self.now;
-        let actions = self.nodes[node].protocol.subscribe(topic, now);
-        self.apply_actions(node, actions);
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        actions.extend(self.nodes[node].protocol.subscribe(topic, now));
+        self.apply_actions(node, &mut actions);
+        self.action_scratch = actions;
     }
 
     fn on_timer(&mut self, node: usize, kind: TimerKind) {
         self.timers.remove(&(node, kind));
         let now = self.now;
-        let actions = self.nodes[node].protocol.handle_timer(kind, now);
-        self.apply_actions(node, actions);
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        actions.extend(self.nodes[node].protocol.handle_timer(kind, now));
+        self.apply_actions(node, &mut actions);
+        self.action_scratch = actions;
     }
 
     fn on_tx_start(&mut self, frame: usize) {
@@ -404,15 +605,19 @@ impl World {
         };
         let outcomes = self.medium.complete_transmission(tx, &mut self.mac_rng);
         let now = self.now;
+        let mut actions = std::mem::take(&mut self.action_scratch);
         for (receiver, outcome) in outcomes {
             if outcome != ReceptionOutcome::Received {
                 continue;
             }
-            let actions = self.nodes[receiver]
-                .protocol
-                .handle_message(&pending.message, now);
-            self.apply_actions(receiver, actions);
+            actions.extend(
+                self.nodes[receiver]
+                    .protocol
+                    .handle_message(&pending.message, now),
+            );
+            self.apply_actions(receiver, &mut actions);
         }
+        self.action_scratch = actions;
     }
 
     fn on_publish(&mut self, index: usize) {
@@ -430,7 +635,10 @@ impl World {
             publisher,
             topic: publication.topic,
         });
-        self.apply_actions(publisher, actions);
+        let mut drained = std::mem::take(&mut self.action_scratch);
+        drained.extend(actions);
+        self.apply_actions(publisher, &mut drained);
+        self.action_scratch = drained;
     }
 
     fn on_warmup_end(&mut self) {
@@ -464,8 +672,13 @@ impl World {
         }
     }
 
-    fn apply_actions(&mut self, node: usize, actions: Vec<Action>) {
-        for action in actions {
+    /// Drains `actions` (the world's reusable scratch buffer, refilled by the
+    /// caller from a protocol callback) and carries each action out. The
+    /// buffer comes back empty, ready for the next event. Protocol callbacks
+    /// still return their own `Vec<Action>` (the trait is unchanged); the
+    /// scratch only keeps the world-side drain buffer allocated once per run.
+    fn apply_actions(&mut self, node: usize, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Broadcast(message) => {
                     let jitter = self
@@ -576,12 +789,14 @@ impl World {
 
 /// Recycles one [`World`] across the seeds of a sweep.
 ///
-/// `World::new` rebuilds every vector, hash map and grid bucket from scratch;
-/// over a multi-thousand-seed sweep that allocation churn dominates short
-/// scenarios. An arena keeps the previous seed's world and [`World::reset`]s
-/// it for the next seed instead, recycling the node vector, the medium's grid
-/// buckets and counters, the event queue and the frame/publication records.
-/// The runner keeps one arena per worker thread.
+/// `World::new` rebuilds every vector, hash map, grid bucket and per-node
+/// protocol/mobility box from scratch; over a multi-thousand-seed sweep that
+/// allocation churn dominates short scenarios. An arena keeps the previous
+/// seed's world and [`World::reset`]s it for the next seed instead, recycling
+/// the node vector — with each node's protocol and mobility state reset **in
+/// place** through their `reset` hooks — the medium's grid buckets and
+/// counters, the event queue, the wake queue and the frame/publication
+/// records. The runner keeps one arena per worker thread.
 ///
 /// Reports are unaffected: a recycled world is bit-identical to a fresh one
 /// (pinned by the integration determinism suite).
@@ -823,18 +1038,22 @@ mod tests {
     }
 
     #[test]
-    fn dirty_tick_mobility_matches_the_naive_reference() {
+    fn event_driven_mobility_matches_scan_and_naive_references() {
         for seed in [1u64, 2, 3] {
-            let dirty = World::new(pause_heavy_scenario(), seed).unwrap().run();
+            let event = World::new(pause_heavy_scenario(), seed).unwrap().run();
+            let mut scan_world = World::new(pause_heavy_scenario(), seed).unwrap();
+            scan_world.set_scan_mobility(true);
+            let scan = scan_world.run();
             let mut naive_world = World::new(pause_heavy_scenario(), seed).unwrap();
             naive_world.set_naive_mobility(true);
             let naive = naive_world.run();
             assert_eq!(
-                dirty, naive,
-                "dirty-tick diverged from naive for seed {seed}"
+                event, scan,
+                "event-driven diverged from the scan reference for seed {seed}"
             );
+            assert_eq!(scan, naive, "scan diverged from naive for seed {seed}");
         }
-        // Stationary nodes are skipped after the first tick; reports must
+        // Stationary nodes sleep forever after the first tick; reports must
         // still match the advance-everyone reference.
         let stationary = ScenarioBuilder::new()
             .label("stationary")
@@ -848,22 +1067,52 @@ mod tests {
             .publications(vec![])
             .build()
             .unwrap();
-        let dirty = World::new(stationary.clone(), 5).unwrap().run();
+        let event = World::new(stationary.clone(), 5).unwrap().run();
         let mut naive_world = World::new(stationary, 5).unwrap();
         naive_world.set_naive_mobility(true);
-        assert_eq!(dirty, naive_world.run());
+        assert_eq!(event, naive_world.run());
     }
 
     #[test]
     fn reset_world_reproduces_fresh_world_reports() {
-        let scenario = small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        for scenario in [
+            small_scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default())),
+            // Flooding exercises the baselines' in-place protocol reset.
+            small_scenario(ProtocolKind::Flooding(FloodingPolicy::Simple)),
+        ] {
+            let mut reused = World::new(scenario.clone(), 1).unwrap();
+            let _ = reused.run_mut();
+            for seed in [9u64, 3, 7] {
+                reused.reset(seed);
+                let recycled = reused.run_mut();
+                let fresh = World::new(scenario.clone(), seed).unwrap().run();
+                assert_eq!(recycled, fresh, "reset world diverged for seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_world_reproduces_fresh_reports_in_the_city_model() {
+        // City-section nodes carry route vectors and pause state; the in-place
+        // mobility reset must redraw them exactly like a fresh construction.
+        let scenario = ScenarioBuilder::city()
+            .timing(SimDuration::from_secs(5), SimDuration::from_secs(40))
+            .publications(vec![Publication {
+                publisher: PublisherChoice::Node(2),
+                topic: ".news.local".parse().unwrap(),
+                at: SimTime::from_secs(6),
+                validity: SimDuration::from_secs(30),
+                payload_bytes: 400,
+            }])
+            .build()
+            .unwrap();
         let mut reused = World::new(scenario.clone(), 1).unwrap();
         let _ = reused.run_mut();
-        for seed in [9u64, 3, 7] {
+        for seed in [4u64, 2] {
             reused.reset(seed);
             let recycled = reused.run_mut();
             let fresh = World::new(scenario.clone(), seed).unwrap().run();
-            assert_eq!(recycled, fresh, "reset world diverged for seed {seed}");
+            assert_eq!(recycled, fresh, "city reset world diverged for seed {seed}");
         }
     }
 

@@ -40,6 +40,13 @@ impl SubscriptionSet {
         self.topics.remove(topic)
     }
 
+    /// Removes every subscription, leaving the set as freshly constructed.
+    /// Used by the protocols' in-place `reset` when a simulation world is
+    /// recycled across seeds.
+    pub fn clear(&mut self) {
+        self.topics.clear();
+    }
+
     /// `true` when the process has no subscriptions left (at which point the
     /// paper stops its heartbeat and garbage-collection tasks).
     pub fn is_empty(&self) -> bool {
@@ -148,6 +155,15 @@ mod tests {
         assert!(subs.unsubscribe(&t(".a")));
         assert!(!subs.unsubscribe(&t(".a")));
         assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut subs: SubscriptionSet = [t(".a"), t(".b.c")].into_iter().collect();
+        subs.clear();
+        assert!(subs.is_empty());
+        assert_eq!(subs, SubscriptionSet::new());
+        assert!(subs.subscribe(t(".a")), "a cleared set is freshly usable");
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub mod stats;
 pub mod time;
 
 pub use rng::SimRng;
-pub use scheduler::{EventHandle, EventQueue};
+pub use scheduler::{EventHandle, EventQueue, IndexedMinQueue};
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

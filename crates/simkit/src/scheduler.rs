@@ -6,6 +6,13 @@
 //! be cancelled through the [`EventHandle`] returned at insertion time, which is
 //! how protocol timers (heartbeats, back-offs, garbage collection) are disarmed.
 //!
+//! [`IndexedMinQueue`] is the companion structure for *per-entity* deadlines:
+//! each id in `0..n` holds at most one `SimTime` key, the key can be decreased
+//! or increased in O(log n) by id, and the queue pops `(key, id)` pairs in
+//! ascending order with the lowest id first among equal keys. The simulation
+//! world uses it to schedule one wake event per node instead of scanning every
+//! node on every mobility tick.
+//!
 //! # Examples
 //!
 //! ```
@@ -165,6 +172,196 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.cancelled.clear();
         self.live = 0;
+    }
+}
+
+/// An indexed min-priority queue of `SimTime` deadlines keyed by small integer
+/// ids.
+///
+/// Every id in `0..id_bound` holds **at most one** entry. [`IndexedMinQueue::set`]
+/// inserts a new entry or re-keys an existing one (decrease *and* increase are
+/// both O(log n), located through a positions table — no lazy deletion, no
+/// duplicate entries). Pops yield `(key, id)` in ascending key order; among
+/// equal keys the **lowest id** pops first, which is what lets the simulation
+/// world process waking nodes in exactly the order the reference full scan
+/// visits them.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::scheduler::IndexedMinQueue;
+/// use simkit::time::SimTime;
+///
+/// let mut q = IndexedMinQueue::new();
+/// q.set(3, SimTime::from_secs(9));
+/// q.set(1, SimTime::from_secs(5));
+/// q.set(3, SimTime::from_secs(2)); // decrease-key by id
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), 3)));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(5), 1)));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IndexedMinQueue {
+    /// Ids, heap-ordered by `(key[id], id)`.
+    heap: Vec<usize>,
+    /// `pos[id]` is the index of `id` in `heap`, or `ABSENT`.
+    pos: Vec<usize>,
+    /// `key[id]` is meaningful only while `pos[id] != ABSENT`.
+    key: Vec<SimTime>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl IndexedMinQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        IndexedMinQueue::default()
+    }
+
+    /// Number of entries in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if the queue holds no entry.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes every entry, keeping all allocations.
+    pub fn clear(&mut self) {
+        for &id in &self.heap {
+            self.pos[id] = ABSENT;
+        }
+        self.heap.clear();
+    }
+
+    /// `true` if `id` currently holds an entry.
+    pub fn contains(&self, id: usize) -> bool {
+        self.pos.get(id).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// The key of `id`, if it holds an entry.
+    pub fn key_of(&self, id: usize) -> Option<SimTime> {
+        self.contains(id).then(|| self.key[id])
+    }
+
+    /// The smallest `(key, id)` entry without removing it.
+    pub fn peek(&self) -> Option<(SimTime, usize)> {
+        self.heap.first().map(|&id| (self.key[id], id))
+    }
+
+    /// Inserts `id` with `key`, or re-keys it if already present (both
+    /// decreases and increases restore the heap order).
+    pub fn set(&mut self, id: usize, key: SimTime) {
+        self.grow_to(id + 1);
+        if self.pos[id] == ABSENT {
+            self.key[id] = key;
+            self.pos[id] = self.heap.len();
+            self.heap.push(id);
+            self.sift_up(self.heap.len() - 1);
+        } else {
+            let old = self.key[id];
+            self.key[id] = key;
+            let at = self.pos[id];
+            if key < old {
+                self.sift_up(at);
+            } else if key > old {
+                self.sift_down(at);
+            }
+        }
+    }
+
+    /// Removes and returns the smallest `(key, id)` entry.
+    pub fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let &first = self.heap.first()?;
+        self.remove_at(0);
+        Some((self.key[first], first))
+    }
+
+    /// Removes and returns the smallest entry **iff** its key is `<= deadline`.
+    /// This is the wake-drain primitive: the world pops every node due at the
+    /// current tick and nothing beyond it.
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, usize)> {
+        match self.peek() {
+            Some((key, _)) if key <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Removes the entry of `id`, if any. Returns `true` if one was removed.
+    pub fn remove(&mut self, id: usize) -> bool {
+        match self.pos.get(id) {
+            Some(&p) if p != ABSENT => {
+                self.remove_at(p);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn grow_to(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+            self.key.resize(n, SimTime::ZERO);
+        }
+    }
+
+    /// `true` if the entry of id `a` orders before the entry of id `b`.
+    fn before(&self, a: usize, b: usize) -> bool {
+        (self.key[a], a) < (self.key[b], b)
+    }
+
+    fn remove_at(&mut self, at: usize) {
+        let id = self.heap[at];
+        let last = self.heap.len() - 1;
+        self.heap.swap(at, last);
+        self.heap.pop();
+        self.pos[id] = ABSENT;
+        if at < self.heap.len() {
+            // The entry swapped into `at` may order either way relative to
+            // `at`'s old neighborhood; restore both directions.
+            let moved = self.heap[at];
+            self.pos[moved] = at;
+            self.sift_down(at);
+            self.sift_up(self.pos[moved]);
+        }
+    }
+
+    fn sift_up(&mut self, mut at: usize) {
+        while at > 0 {
+            let parent = (at - 1) / 2;
+            if self.before(self.heap[at], self.heap[parent]) {
+                self.heap.swap(at, parent);
+                self.pos[self.heap[at]] = at;
+                self.pos[self.heap[parent]] = parent;
+                at = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut at: usize) {
+        loop {
+            let left = 2 * at + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < self.heap.len() && self.before(self.heap[right], self.heap[left]) {
+                smallest = right;
+            }
+            if self.before(self.heap[smallest], self.heap[at]) {
+                self.heap.swap(at, smallest);
+                self.pos[self.heap[at]] = at;
+                self.pos[self.heap[smallest]] = smallest;
+                at = smallest;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -328,6 +525,158 @@ mod proptests {
             }
             prop_assert_eq!(popped, times.len());
             prop_assert!(q.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod indexed_tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_key_then_id_order() {
+        let mut q = IndexedMinQueue::new();
+        q.set(4, t(2));
+        q.set(0, t(5));
+        q.set(2, t(2));
+        q.set(7, t(1));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(t(1), 7), (t(2), 2), (t(2), 4), (t(5), 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn set_rekeys_in_both_directions() {
+        let mut q = IndexedMinQueue::new();
+        q.set(0, t(10));
+        q.set(1, t(20));
+        q.set(2, t(30));
+        assert_eq!(q.len(), 3);
+        // Decrease 2 below everyone, increase 0 above everyone.
+        q.set(2, t(1));
+        q.set(0, t(99));
+        assert_eq!(q.key_of(2), Some(t(1)));
+        assert_eq!(q.key_of(0), Some(t(99)));
+        assert_eq!(q.len(), 3, "re-keying must not duplicate entries");
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, id)| id).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn pop_due_only_yields_entries_at_or_before_the_deadline() {
+        let mut q = IndexedMinQueue::new();
+        q.set(0, t(1));
+        q.set(1, t(3));
+        q.set(2, t(3));
+        q.set(3, t(8));
+        let mut due = Vec::new();
+        while let Some((_, id)) = q.pop_due(t(3)) {
+            due.push(id);
+        }
+        assert_eq!(due, vec![0, 1, 2]);
+        assert_eq!(q.peek(), Some((t(8), 3)));
+        assert_eq!(q.pop_due(t(7)), None);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut q = IndexedMinQueue::new();
+        q.set(0, t(1));
+        q.set(1, t(2));
+        q.set(2, t(3));
+        assert!(q.contains(1));
+        assert!(q.remove(1));
+        assert!(!q.contains(1));
+        assert!(!q.remove(1), "double remove must report false");
+        assert!(!q.remove(99), "unknown id must report false");
+        assert_eq!(q.key_of(1), None);
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, id)| id).collect();
+        assert_eq!(order, vec![0, 2]);
+    }
+
+    #[test]
+    fn equal_keys_pop_in_ascending_id_order() {
+        let mut q = IndexedMinQueue::new();
+        for id in (0..5).rev() {
+            q.set(id, SimTime::ZERO);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop_due(SimTime::ZERO))
+            .map(|(_, id)| id)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4], "equal keys pop in ascending id");
+    }
+
+    #[test]
+    fn clear_keeps_the_queue_usable() {
+        let mut q = IndexedMinQueue::new();
+        q.set(0, t(1));
+        q.set(1, t(2));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.set(1, t(7));
+        assert_eq!(q.pop(), Some((t(7), 1)));
+    }
+}
+
+#[cfg(test)]
+mod indexed_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        /// The queue behaves exactly like a sorted map of `(key, id)` pairs
+        /// under an arbitrary interleaving of set (insert, decrease, increase),
+        /// remove and pop operations.
+        #[test]
+        fn matches_btreemap_model(
+            ops in proptest::collection::vec((0usize..16, 0u64..1_000, 0u8..4), 1..200),
+        ) {
+            let mut q = IndexedMinQueue::new();
+            let mut model: BTreeMap<usize, SimTime> = BTreeMap::new();
+            for (id, ms, op) in ops {
+                match op {
+                    0 | 1 => {
+                        let key = SimTime::from_millis(ms);
+                        q.set(id, key);
+                        model.insert(id, key);
+                    }
+                    2 => {
+                        prop_assert_eq!(q.remove(id), model.remove(&id).is_some());
+                    }
+                    _ => {
+                        let expected = model
+                            .iter()
+                            .map(|(&id, &key)| (key, id))
+                            .min();
+                        prop_assert_eq!(q.peek(), expected);
+                        if let Some((key, id)) = q.pop() {
+                            prop_assert_eq!(Some((key, id)), expected);
+                            model.remove(&id);
+                        } else {
+                            prop_assert!(model.is_empty());
+                        }
+                    }
+                }
+                prop_assert_eq!(q.len(), model.len());
+                for (&id, &key) in &model {
+                    prop_assert_eq!(q.key_of(id), Some(key));
+                }
+            }
+            // Drain: the remaining pops must come out fully sorted by (key, id).
+            let mut drained = Vec::new();
+            while let Some(entry) = q.pop() {
+                drained.push(entry);
+            }
+            let mut expected: Vec<(SimTime, usize)> =
+                model.iter().map(|(&id, &key)| (key, id)).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(drained, expected);
         }
     }
 }

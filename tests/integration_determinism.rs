@@ -204,14 +204,87 @@ fn dirty_tick_reproduces_pre_refactor_city_reports_seed_for_seed() {
     }
 }
 
+/// A random-waypoint scenario tuned to be wake-heavy: short legs between long
+/// 20 s pauses with a fine 100 ms tick, so most ticks find most nodes asleep
+/// and waking nodes need chunked catch-up. Used to pin the event-driven wake
+/// queue refactor.
+fn wake_heavy(protocol: ProtocolKind) -> manet_sim::Scenario {
+    ScenarioBuilder::new()
+        .label("wake-heavy")
+        .protocol(protocol)
+        .nodes(40)
+        .subscriber_fraction(0.8)
+        .mobility(MobilityKind::RandomWaypoint {
+            area: Area::square(300.0),
+            speed_min: 15.0,
+            speed_max: 30.0,
+            pause: SimDuration::from_secs(20),
+        })
+        .radio(RadioConfig::ideal(120.0))
+        .timing(SimDuration::from_secs(3), SimDuration::from_secs(45))
+        .publications(vec![Publication {
+            publisher: PublisherChoice::Node(1),
+            topic: ".news.local".parse().unwrap(),
+            at: SimTime::from_secs(4),
+            validity: SimDuration::from_secs(35),
+            payload_bytes: 400,
+        }])
+        .mobility_tick(SimDuration::from_millis(100))
+        .build()
+        .unwrap()
+}
+
+/// The event-driven wake queue (PR 4) must reproduce, seed for seed, the exact
+/// reports the scan-every-node dirty-tick world produced before the refactor.
+/// These golden fingerprints were captured from the pre-wake-queue
+/// implementation (commit 4501ed3) on a wake-heavy random-waypoint scenario;
+/// any divergence means the wake queue changed the set or order of advanced
+/// nodes, positions, outcomes, or RNG consumption.
+#[test]
+fn wake_queue_reproduces_pre_refactor_reports_seed_for_seed() {
+    let golden_frugal: [(u64, u64); 3] = [
+        (1, 0x28c1_e00f_49fa_bfc2),
+        (2, 0x64b5_e1e8_f6b3_b316),
+        (3, 0x23ff_bb82_b404_4fac),
+    ];
+    let golden_flooding: [(u64, u64); 2] = [(1, 0x8fe0_40eb_0404_06ef), (2, 0xb446_a482_f571_9b3a)];
+    for (seed, expected) in golden_frugal {
+        let s = wake_heavy(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(
+            got, expected,
+            "wake-heavy frugal report changed for seed {seed}: {got:#018x}"
+        );
+    }
+    for (seed, expected) in golden_flooding {
+        let s = wake_heavy(ProtocolKind::Flooding(FloodingPolicy::Simple));
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(
+            got, expected,
+            "wake-heavy flooding report changed for seed {seed}: {got:#018x}"
+        );
+    }
+}
+
 /// Arena-recycled worlds must reproduce fresh-world reports seed for seed:
 /// `WorldArena::checkout` + `World::reset` may only recycle allocations,
-/// never state.
+/// never state. Since PR 4 the recycling is *total* — per-node protocol and
+/// mobility boxes are reset in place rather than rebuilt — so this suite
+/// covers all three protocol/mobility reset implementations plus the
+/// rebuild fallback (stationary models decline their reset hook).
 #[test]
 fn arena_reused_worlds_reproduce_fresh_reports_seed_for_seed() {
     let scenarios = [
         scenario(ProtocolKind::Frugal(ProtocolConfig::paper_default()), rw()),
         mobility_heavy_city(),
+        wake_heavy(ProtocolKind::Frugal(ProtocolConfig::paper_default())),
+        wake_heavy(ProtocolKind::Flooding(FloodingPolicy::Simple)),
+        scenario(
+            ProtocolKind::Flooding(FloodingPolicy::NeighborInterest),
+            MobilityKind::Stationary {
+                area: Area::square(600.0),
+            },
+        ),
     ];
     for scenario in scenarios {
         let mut arena = WorldArena::new();

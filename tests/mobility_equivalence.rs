@@ -2,14 +2,19 @@
 //!
 //! The dirty-tick path (PR 3) skips nodes that are paused, parked or
 //! stationary and catches them up in one chunked `advance` when their pause
-//! can end. These properties pin the refactor's contract: positions, the
-//! per-node mobility RNG streams, and whole `RunReport`s must be
-//! **bit-identical** to the naive advance-every-node-every-tick reference, on
-//! random scenarios, for both of the paper's mobility models.
+//! can end; the event-driven wake queue (PR 4) goes further and pops exactly
+//! the due nodes from an indexed min-queue instead of scanning everyone, and
+//! world arenas reset per-node protocol/mobility state in place instead of
+//! rebuilding it. These properties pin the refactors' contract: positions,
+//! the per-node mobility RNG streams, and whole `RunReport`s must be
+//! **bit-identical** across all three tick implementations (event-driven,
+//! scan, naive) and across fresh vs arena-recycled worlds, on random
+//! scenarios, for both of the paper's mobility models.
 
 use frugal::{FloodingPolicy, ProtocolConfig};
 use manet_sim::{
     MobilityKind, ProtocolKind, Publication, PublisherChoice, Scenario, ScenarioBuilder, World,
+    WorldArena,
 };
 use mobility::{
     Area, CitySection, CitySectionConfig, MobilityModel, RandomWaypoint, RandomWaypointConfig,
@@ -198,6 +203,87 @@ proptest! {
         let mut naive_world = World::new(scenario, seed).unwrap();
         naive_world.set_naive_mobility(true);
         prop_assert_eq!(dirty, naive_world.run());
+    }
+
+    /// Lockstep equivalence of the two dirty-tick implementations: the
+    /// event-driven wake queue (default) and the scan-every-node reference
+    /// must produce bit-identical `RunReport`s on random random-waypoint
+    /// scenarios — including zero pauses (nobody ever sleeps), long pauses
+    /// (almost everybody sleeps) and both protocols.
+    #[test]
+    fn world_reports_identical_event_vs_scan_random_waypoint(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..16,
+        tick_ms in 200u64..1_000,
+        pause_s in 0u64..20,
+        frugal in any::<bool>(),
+    ) {
+        let mobility = MobilityKind::RandomWaypoint {
+            area: Area::square(400.0),
+            speed_min: 2.0,
+            speed_max: 25.0,
+            pause: SimDuration::from_secs(pause_s),
+        };
+        let protocol = if frugal {
+            ProtocolKind::Frugal(ProtocolConfig::paper_default())
+        } else {
+            ProtocolKind::Flooding(FloodingPolicy::Simple)
+        };
+        let scenario = random_scenario(mobility, protocol, nodes, tick_ms, 180.0);
+        let event = World::new(scenario.clone(), seed).unwrap().run();
+        let mut scan_world = World::new(scenario, seed).unwrap();
+        scan_world.set_scan_mobility(true);
+        prop_assert_eq!(event, scan_world.run());
+    }
+
+    /// Same event-vs-scan property under the city-section model, whose pause
+    /// lengths are drawn per intersection stop.
+    #[test]
+    fn world_reports_identical_event_vs_scan_city_section(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..16,
+        tick_ms in 200u64..1_000,
+    ) {
+        let scenario = random_scenario(
+            MobilityKind::CityCampus,
+            ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+            nodes,
+            tick_ms,
+            60.0,
+        );
+        let event = World::new(scenario.clone(), seed).unwrap().run();
+        let mut scan_world = World::new(scenario, seed).unwrap();
+        scan_world.set_scan_mobility(true);
+        prop_assert_eq!(event, scan_world.run());
+    }
+
+    /// Arena recycling with in-place protocol/mobility resets must be
+    /// invisible: checking the same scenario out for a chain of random seeds
+    /// reproduces every fresh-world report bit for bit.
+    #[test]
+    fn arena_with_protocol_reset_matches_fresh_worlds(
+        seeds in proptest::collection::vec(0u64..1_000_000, 2..5),
+        nodes in 4usize..12,
+        frugal in any::<bool>(),
+    ) {
+        let protocol = if frugal {
+            ProtocolKind::Frugal(ProtocolConfig::paper_default())
+        } else {
+            ProtocolKind::Flooding(FloodingPolicy::NeighborInterest)
+        };
+        let mobility = MobilityKind::RandomWaypoint {
+            area: Area::square(400.0),
+            speed_min: 2.0,
+            speed_max: 25.0,
+            pause: SimDuration::from_secs(8),
+        };
+        let scenario = random_scenario(mobility, protocol, nodes, 500, 180.0);
+        let mut arena = WorldArena::new();
+        for seed in seeds {
+            let recycled = arena.checkout(&scenario, seed).unwrap().run_mut();
+            let fresh = World::new(scenario.clone(), seed).unwrap().run();
+            prop_assert_eq!(recycled, fresh, "arena diverged for seed {}", seed);
+        }
     }
 
     /// Same property under the city-section model.
