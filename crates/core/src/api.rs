@@ -29,6 +29,31 @@ pub enum TimerKind {
     FloodTick,
 }
 
+impl TimerKind {
+    /// Number of timer kinds — the width of dense per-process timer tables
+    /// (the simulator keeps one `[Option<EventHandle>; TimerKind::COUNT]`
+    /// row per node so arming and cancelling timers does no hashing).
+    pub const COUNT: usize = 4;
+
+    /// Every timer kind, ordered by [`TimerKind::index`].
+    pub const ALL: [TimerKind; TimerKind::COUNT] = [
+        TimerKind::Heartbeat,
+        TimerKind::NeighborhoodGc,
+        TimerKind::BackOff,
+        TimerKind::FloodTick,
+    ];
+
+    /// The dense index of this kind, in `0..TimerKind::COUNT`.
+    pub const fn index(self) -> usize {
+        match self {
+            TimerKind::Heartbeat => 0,
+            TimerKind::NeighborhoodGc => 1,
+            TimerKind::BackOff => 2,
+            TimerKind::FloodTick => 3,
+        }
+    }
+}
+
 /// An effect requested by a protocol, to be executed by the environment.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
@@ -158,14 +183,19 @@ mod tests {
 
     #[test]
     fn timer_kinds_are_distinct_hashable() {
-        let set: std::collections::HashSet<_> = [
-            TimerKind::Heartbeat,
-            TimerKind::NeighborhoodGc,
-            TimerKind::BackOff,
-            TimerKind::FloodTick,
-        ]
-        .into_iter()
-        .collect();
-        assert_eq!(set.len(), 4);
+        let set: std::collections::HashSet<_> = TimerKind::ALL.into_iter().collect();
+        assert_eq!(set.len(), TimerKind::COUNT);
+    }
+
+    #[test]
+    fn timer_kind_indices_are_a_dense_permutation() {
+        let mut seen = [false; TimerKind::COUNT];
+        for kind in TimerKind::ALL {
+            let index = kind.index();
+            assert!(index < TimerKind::COUNT);
+            assert!(!seen[index], "duplicate index {index}");
+            seen[index] = true;
+            assert_eq!(TimerKind::ALL[index], kind, "ALL is ordered by index");
+        }
     }
 }

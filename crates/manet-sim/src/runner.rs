@@ -159,9 +159,11 @@ where
         for _ in 0..workers {
             scope.spawn(|| {
                 // One arena per worker: every seed after the first reuses the
-                // previous world's allocations — including each node's boxed
-                // protocol and mobility state, which are reset in place —
-                // instead of rebuilding them.
+                // previous world's allocations — each node's boxed protocol
+                // and mobility state (reset in place), the timer wheel's slot
+                // buckets and handle slab (cleared, tombstones compacted, so
+                // no dead handles leak across seeds), the medium's grid
+                // buckets — instead of rebuilding them.
                 let mut arena = WorldArena::new();
                 loop {
                     let start = next_chunk.fetch_add(chunk_size, Ordering::Relaxed);

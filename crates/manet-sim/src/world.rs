@@ -18,6 +18,19 @@
 //! reports bit-identical to the reference full scan (kept as the doc-hidden
 //! [`World::set_scan_mobility`], itself equivalent to the original
 //! advance-everyone path behind [`World::set_naive_mobility`]).
+//!
+//! The event loop itself is **batched**: the scheduler is a hierarchical
+//! timer wheel ([`TimerWheel`]) and the world drains all the events sharing
+//! a timestamp in one call, so a 10k-node heartbeat wave costs one staged
+//! slot drain instead of 10k binary-heap pops. Protocol timers live in a
+//! dense per-node `[Option<EventHandle>; TimerKind::COUNT]` slot table —
+//! arming, re-arming and cancelling on the protocol hot path does no
+//! hashing — and that same table is what keeps eager batch draining honest:
+//! a timer event only fires if its handle still matches the armed slot, so a
+//! timer cancelled or re-armed by an earlier event of its own batch is
+//! skipped exactly as the reference heap would have skipped it. The heap
+//! path survives as the doc-hidden [`World::set_heap_queue`], pinned
+//! bit-identical by the scheduler equivalence suite.
 
 use crate::report::{EventOutcome, NodeReport, RunReport};
 use crate::scenario::{MobilityKind, ProtocolKind, PublisherChoice, Scenario, ScenarioError};
@@ -31,8 +44,7 @@ use mobility::{
 };
 use netsim::{RadioMedium, ReceptionOutcome, TrafficCounters, TxId};
 use pubsub::{EventId, ProcessId, Topic};
-use simkit::{EventHandle, EventQueue, IndexedMinQueue, SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
+use simkit::{EventHandle, EventQueue, IndexedMinQueue, SimDuration, SimRng, SimTime, TimerWheel};
 
 /// One simulated process: protocol + movement + private randomness.
 #[derive(Debug)]
@@ -85,6 +97,66 @@ struct PublishedRecord {
     topic: Topic,
 }
 
+/// The event scheduler driving the run: the production timer wheel or the
+/// binary-heap reference. Both implement the same dispatch contract — pops
+/// in `(time, FIFO)` order, batched same-timestamp drains, cancellation by
+/// handle — and the scheduler equivalence suite pins the whole-run reports
+/// bit-identical across the two. (The implementations differ only in
+/// signals the world never reads: the heap's lazy `cancel` cannot tell a
+/// fired handle from a pending one, so its return value and `len` are
+/// advisory there, while the wheel's are exact.)
+#[derive(Debug)]
+enum SchedulerQueue {
+    /// Default: hierarchical timer wheel, O(1) schedule/cancel, one staged
+    /// slot drain per same-timestamp batch.
+    Wheel(TimerWheel<WorldEvent>),
+    /// The pre-wheel binary heap, kept doc-hidden behind
+    /// [`World::set_heap_queue`] for the equivalence suite and the
+    /// `event_scaling` benchmark.
+    Heap(EventQueue<WorldEvent>),
+}
+
+impl SchedulerQueue {
+    fn schedule(&mut self, time: SimTime, event: WorldEvent) -> EventHandle {
+        match self {
+            SchedulerQueue::Wheel(queue) => queue.schedule(time, event),
+            SchedulerQueue::Heap(queue) => queue.schedule(time, event),
+        }
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        match self {
+            SchedulerQueue::Wheel(queue) => queue.cancel(handle),
+            SchedulerQueue::Heap(queue) => queue.cancel(handle),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            SchedulerQueue::Wheel(queue) => queue.peek_time(),
+            SchedulerQueue::Heap(queue) => queue.peek_time(),
+        }
+    }
+
+    fn pop_due_batch(
+        &mut self,
+        deadline: SimTime,
+        out: &mut Vec<(EventHandle, WorldEvent)>,
+    ) -> Option<SimTime> {
+        match self {
+            SchedulerQueue::Wheel(queue) => queue.pop_due_batch(deadline, out),
+            SchedulerQueue::Heap(queue) => queue.pop_due_batch(deadline, out),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            SchedulerQueue::Wheel(queue) => queue.clear(),
+            SchedulerQueue::Heap(queue) => queue.clear(),
+        }
+    }
+}
+
 /// Which implementation a mobility tick uses. All three are semantically
 /// identical (pinned by the equivalence suite); the slower ones are kept as
 /// doc-hidden references for tests and the scaling benchmarks.
@@ -108,12 +180,17 @@ pub struct World {
     seed: u64,
     now: SimTime,
     end: SimTime,
-    queue: EventQueue<WorldEvent>,
+    queue: SchedulerQueue,
     nodes: Vec<SimNode>,
     /// The medium owns the node positions (in its spatial grid); the world
     /// pushes moves into it incrementally at every mobility tick.
     medium: RadioMedium,
-    timers: HashMap<(usize, TimerKind), EventHandle>,
+    /// Dense per-node timer slots: `timer_slots[node][kind.index()]` is the
+    /// handle of the armed timer of that kind, if any. Arming, re-arming and
+    /// cancelling on the protocol hot path is two array indexations — no
+    /// hashing — and the handle match is what validates eagerly drained
+    /// batch entries against mid-batch cancellations.
+    timer_slots: Vec<[Option<EventHandle>; TimerKind::COUNT]>,
     frames: Vec<Option<PendingFrame>>,
     /// Randomness of the shared medium (contention jitter, fringe loss).
     mac_rng: SimRng,
@@ -146,6 +223,13 @@ pub struct World {
     /// Scratch: protocol callback results are drained through this single
     /// buffer instead of a fresh vector per event.
     action_scratch: Vec<Action>,
+    /// Scratch: the current same-timestamp event batch, drained from the
+    /// scheduler in one call and dispatched in FIFO order.
+    batch_scratch: Vec<(EventHandle, WorldEvent)>,
+    /// The nodes subscribed to the measured topic, ascending index. Cached so
+    /// `resolve_publisher(RandomSubscriber)` allocates nothing per
+    /// publication event; rebuilt by every populate/reset.
+    subscriber_cache: Vec<usize>,
 }
 
 impl World {
@@ -166,10 +250,10 @@ impl World {
             seed,
             now: SimTime::ZERO,
             end,
-            queue: EventQueue::new(),
+            queue: SchedulerQueue::Wheel(TimerWheel::new()),
             nodes: Vec::new(),
             medium,
-            timers: HashMap::new(),
+            timer_slots: Vec::new(),
             frames: Vec::new(),
             mac_rng: SimRng::seed_from(seed).derive(0xBEEF).derive(7),
             published: Vec::new(),
@@ -183,6 +267,8 @@ impl World {
             active_scratch: Vec::new(),
             wake_scratch: Vec::new(),
             action_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
+            subscriber_cache: Vec::new(),
         };
         world.populate(seed);
         Ok(world)
@@ -205,8 +291,10 @@ impl World {
         self.seed = seed;
         self.now = SimTime::ZERO;
         self.end = SimTime::ZERO + self.scenario.duration;
+        // `SchedulerQueue::clear` also compacts: cancel tombstones are
+        // dropped and the handle space restarts, so a recycled world carries
+        // no dead handles (or unbounded sequence growth) across seeds.
         self.queue.clear();
-        self.timers.clear();
         self.frames.clear();
         self.published.clear();
         self.warmup_metrics = None;
@@ -334,6 +422,13 @@ impl World {
         self.wake_queue.clear();
         self.active.clear();
         self.active.extend(0..n);
+        // Dense timer slots (no timer is armed before the run starts) and the
+        // subscriber index behind `PublisherChoice::RandomSubscriber`.
+        self.timer_slots.clear();
+        self.timer_slots.resize(n, [None; TimerKind::COUNT]);
+        self.subscriber_cache.clear();
+        self.subscriber_cache
+            .extend((0..n).filter(|index| subscriber_indices.contains(index)));
 
         // Stagger the initial subscriptions over one heartbeat period so the
         // network does not start with every node beaconing in the same slot.
@@ -404,6 +499,42 @@ impl World {
         };
     }
 
+    /// Forces the pre-wheel binary-heap event queue. Semantically identical
+    /// to the default timer wheel (the scheduler equivalence suite pins
+    /// whole-run reports bit-identical); kept for tests and the
+    /// `event_scaling` benchmark. Call before [`World::run`] — pending
+    /// events are transferred in `(time, FIFO)` order, but armed timers are
+    /// not (none exist before the run starts). The choice survives
+    /// [`World::reset`]; `false` restores the wheel.
+    #[doc(hidden)]
+    pub fn set_heap_queue(&mut self, heap: bool) {
+        if heap == matches!(self.queue, SchedulerQueue::Heap(_)) {
+            return;
+        }
+        debug_assert!(
+            self.timer_slots
+                .iter()
+                .all(|slots| slots.iter().all(Option::is_none)),
+            "switch the scheduler before timers are armed"
+        );
+        // Drain the pending events in pop order and replay them into the
+        // other implementation: relative order — and therefore the run — is
+        // preserved, only the (unreferenced) handles change.
+        let mut moved = Vec::new();
+        let mut batch = Vec::new();
+        while let Some(at) = self.queue.pop_due_batch(SimTime::MAX, &mut batch) {
+            moved.extend(batch.drain(..).map(|(_, event)| (at, event)));
+        }
+        self.queue = if heap {
+            SchedulerQueue::Heap(EventQueue::new())
+        } else {
+            SchedulerQueue::Wheel(TimerWheel::new())
+        };
+        for (at, event) in moved {
+            self.queue.schedule(at, event);
+        }
+    }
+
     /// Runs the simulation to the end of the scenario and returns the report.
     pub fn run(mut self) -> RunReport {
         self.run_mut()
@@ -411,23 +542,45 @@ impl World {
 
     /// Like [`World::run`], but borrows the world so its allocations can be
     /// recycled afterwards with [`World::reset`].
+    ///
+    /// The loop advances one **timestamp batch** at a time: every event
+    /// sharing the earliest pending timestamp is drained from the scheduler
+    /// in one call and dispatched in FIFO order. Timer events are validated
+    /// against the dense slot table at dispatch (see [`World::dispatch`]), so
+    /// eager draining cannot fire a timer that an earlier event of the same
+    /// batch cancelled or re-armed.
     pub fn run_mut(&mut self) -> RunReport {
+        let mut batch = std::mem::take(&mut self.batch_scratch);
         while let Some(at) = self.queue.peek_time() {
             if at > self.end {
                 break;
             }
-            let (at, event) = self.queue.pop().expect("peeked event must pop");
             self.now = at;
-            self.dispatch(event);
+            batch.clear();
+            self.queue.pop_due_batch(at, &mut batch);
+            for (handle, event) in batch.drain(..) {
+                self.dispatch(handle, event);
+            }
         }
+        self.batch_scratch = batch;
         self.report()
     }
 
-    fn dispatch(&mut self, event: WorldEvent) {
+    fn dispatch(&mut self, handle: EventHandle, event: WorldEvent) {
         match event {
             WorldEvent::MobilityTick => self.on_mobility_tick(),
             WorldEvent::Subscribe { node } => self.on_subscribe(node),
-            WorldEvent::Timer { node, kind } => self.on_timer(node, kind),
+            WorldEvent::Timer { node, kind } => {
+                // The batch was drained eagerly; this timer fires only if it
+                // is still the armed instance for (node, kind). An earlier
+                // event of the same batch may have cancelled or re-armed it —
+                // the reference heap would then never have popped it.
+                let slot = &mut self.timer_slots[node][kind.index()];
+                if *slot == Some(handle) {
+                    *slot = None;
+                    self.on_timer(node, kind);
+                }
+            }
             WorldEvent::TxStart { frame } => self.on_tx_start(frame),
             WorldEvent::TxEnd { frame, tx } => self.on_tx_end(frame, tx),
             WorldEvent::Publish { index } => self.on_publish(index),
@@ -577,7 +730,6 @@ impl World {
     }
 
     fn on_timer(&mut self, node: usize, kind: TimerKind) {
-        self.timers.remove(&(node, kind));
         let now = self.now;
         let mut actions = std::mem::take(&mut self.action_scratch);
         actions.extend(self.nodes[node].protocol.handle_timer(kind, now));
@@ -656,17 +808,14 @@ impl World {
             PublisherChoice::Node(index) => index.min(self.nodes.len() - 1),
             PublisherChoice::RandomAny => self.mac_rng.index(self.nodes.len()),
             PublisherChoice::RandomSubscriber => {
-                let subscribers: Vec<usize> = self
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, n)| n.subscriber)
-                    .map(|(i, _)| i)
-                    .collect();
-                if subscribers.is_empty() {
+                // The ascending subscriber index is cached by populate (and
+                // therefore refreshed on every reset): resolving a random
+                // subscriber allocates nothing per publication event.
+                if self.subscriber_cache.is_empty() {
                     self.mac_rng.index(self.nodes.len())
                 } else {
-                    subscribers[self.mac_rng.index(subscribers.len())]
+                    let pick = self.mac_rng.index(self.subscriber_cache.len());
+                    self.subscriber_cache[pick]
                 }
             }
         }
@@ -697,16 +846,16 @@ impl World {
                     // world has nothing extra to do.
                 }
                 Action::SetTimer { kind, after } => {
-                    if let Some(handle) = self.timers.remove(&(node, kind)) {
+                    if let Some(handle) = self.timer_slots[node][kind.index()].take() {
                         self.queue.cancel(handle);
                     }
                     let handle = self
                         .queue
                         .schedule(self.now + after, WorldEvent::Timer { node, kind });
-                    self.timers.insert((node, kind), handle);
+                    self.timer_slots[node][kind.index()] = Some(handle);
                 }
                 Action::CancelTimer(kind) => {
-                    if let Some(handle) = self.timers.remove(&(node, kind)) {
+                    if let Some(handle) = self.timer_slots[node][kind.index()].take() {
                         self.queue.cancel(handle);
                     }
                 }

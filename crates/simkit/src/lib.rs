@@ -8,7 +8,9 @@
 //!
 //! * [`time`] — a millisecond-resolution virtual clock ([`SimTime`],
 //!   [`SimDuration`]);
-//! * [`scheduler`] — a cancellable discrete-event priority queue
+//! * [`scheduler`] — a cancellable discrete-event scheduler: a hierarchical
+//!   timer wheel with batched same-timestamp dispatch ([`TimerWheel`]) and
+//!   the binary-heap reference implementation of the same contract
 //!   ([`EventQueue`]);
 //! * [`rng`] — deterministic, splittable random streams ([`SimRng`]) so every
 //!   experiment is reproducible from a single seed;
@@ -49,6 +51,6 @@ pub mod stats;
 pub mod time;
 
 pub use rng::SimRng;
-pub use scheduler::{EventHandle, EventQueue, IndexedMinQueue};
+pub use scheduler::{EventHandle, EventQueue, IndexedMinQueue, TimerWheel};
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -266,6 +266,80 @@ fn wake_queue_reproduces_pre_refactor_reports_seed_for_seed() {
     }
 }
 
+/// A timer-dense scenario: stationary nodes (mobility is a non-event after
+/// the first tick) under loose clusters, so the run is dominated by protocol
+/// timers — heartbeats, back-offs and GC for frugal, the 1 Hz flood tick for
+/// the baseline — plus the message traffic they trigger. Used to pin the
+/// timer-wheel scheduler refactor.
+fn timer_dense(protocol: ProtocolKind) -> manet_sim::Scenario {
+    ScenarioBuilder::new()
+        .label("timer-dense")
+        .protocol(protocol)
+        .nodes(40)
+        .subscriber_fraction(0.8)
+        .mobility(MobilityKind::Stationary {
+            area: Area::square(1200.0),
+        })
+        .radio(RadioConfig::ideal(150.0))
+        .timing(SimDuration::from_secs(3), SimDuration::from_secs(45))
+        .publications(vec![Publication {
+            publisher: PublisherChoice::Node(1),
+            topic: ".news.local".parse().unwrap(),
+            at: SimTime::from_secs(4),
+            validity: SimDuration::from_secs(35),
+            payload_bytes: 400,
+        }])
+        .build()
+        .unwrap()
+}
+
+/// The timer-wheel scheduler (PR 5) must reproduce, seed for seed, the exact
+/// reports the single-pop binary-heap world produced before the refactor.
+/// These golden fingerprints were captured from the pre-wheel implementation
+/// (commit 576e53c) on the timer-dense scenario; any divergence means the
+/// wheel (or the batched dispatch, or the dense timer slots) changed event
+/// order, outcomes, or RNG consumption. The doc-hidden heap path must keep
+/// matching them too.
+#[test]
+fn timer_wheel_reproduces_pre_refactor_reports_seed_for_seed() {
+    let golden_frugal: [(u64, u64); 3] = [
+        (1, 0xf28a_33b4_5103_f7e2),
+        (2, 0xcb48_3a46_b28a_3a1a),
+        (3, 0xdec6_f15e_6360_4493),
+    ];
+    let golden_flooding: [(u64, u64); 2] = [(1, 0x56d3_86a8_bec0_880a), (2, 0xff22_69cc_add9_965e)];
+    for (seed, expected) in golden_frugal {
+        let s = timer_dense(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        let wheel = fingerprint(&World::new(s.clone(), seed).unwrap().run());
+        assert_eq!(
+            wheel, expected,
+            "timer-dense frugal report changed for seed {seed}: {wheel:#018x}"
+        );
+        let mut heap_world = World::new(s, seed).unwrap();
+        heap_world.set_heap_queue(true);
+        let heap = fingerprint(&heap_world.run());
+        assert_eq!(
+            heap, expected,
+            "heap reference diverged for frugal seed {seed}: {heap:#018x}"
+        );
+    }
+    for (seed, expected) in golden_flooding {
+        let s = timer_dense(ProtocolKind::Flooding(FloodingPolicy::Simple));
+        let wheel = fingerprint(&World::new(s.clone(), seed).unwrap().run());
+        assert_eq!(
+            wheel, expected,
+            "timer-dense flooding report changed for seed {seed}: {wheel:#018x}"
+        );
+        let mut heap_world = World::new(s, seed).unwrap();
+        heap_world.set_heap_queue(true);
+        let heap = fingerprint(&heap_world.run());
+        assert_eq!(
+            heap, expected,
+            "heap reference diverged for flooding seed {seed}: {heap:#018x}"
+        );
+    }
+}
+
 /// Arena-recycled worlds must reproduce fresh-world reports seed for seed:
 /// `WorldArena::checkout` + `World::reset` may only recycle allocations,
 /// never state. Since PR 4 the recycling is *total* — per-node protocol and
@@ -279,6 +353,7 @@ fn arena_reused_worlds_reproduce_fresh_reports_seed_for_seed() {
         mobility_heavy_city(),
         wake_heavy(ProtocolKind::Frugal(ProtocolConfig::paper_default())),
         wake_heavy(ProtocolKind::Flooding(FloodingPolicy::Simple)),
+        timer_dense(ProtocolKind::Frugal(ProtocolConfig::paper_default())),
         scenario(
             ProtocolKind::Flooding(FloodingPolicy::NeighborInterest),
             MobilityKind::Stationary {

@@ -1,0 +1,199 @@
+//! Equivalence suite for the timer-wheel event scheduler.
+//!
+//! The timer wheel (PR 5) replaces the binary-heap `EventQueue` on the
+//! world's hot path: events drain in same-timestamp batches from a
+//! hierarchical calendar queue, and protocol timers live in a dense per-node
+//! slot table instead of a hash map. None of that may change a single bit of
+//! any run: the wheel pops in the exact `(time, FIFO)` order of the heap,
+//! and the batched dispatch validates every timer event against its armed
+//! handle so mid-batch cancellations behave as if events were popped one at
+//! a time. These properties pin whole `RunReport`s bit-identical between the
+//! default wheel world and the doc-hidden heap reference
+//! (`World::set_heap_queue`) on random scenarios — all protocols, both
+//! mobility models, fresh and arena-recycled worlds.
+
+use frugal::{FloodingPolicy, ProtocolConfig};
+use manet_sim::{
+    MobilityKind, ProtocolKind, Publication, PublisherChoice, Scenario, ScenarioBuilder, World,
+    WorldArena,
+};
+use mobility::Area;
+use netsim::RadioConfig;
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+/// Builds a random small scenario from proptest-drawn parameters.
+fn random_scenario(
+    mobility: MobilityKind,
+    protocol: ProtocolKind,
+    nodes: usize,
+    tick_ms: u64,
+    range_m: f64,
+) -> Scenario {
+    ScenarioBuilder::new()
+        .label("scheduler-equivalence")
+        .protocol(protocol)
+        .nodes(nodes)
+        .subscriber_fraction(0.8)
+        .mobility(mobility)
+        .radio(RadioConfig::ideal(range_m))
+        .timing(SimDuration::from_secs(3), SimDuration::from_secs(25))
+        .publications(vec![Publication {
+            publisher: PublisherChoice::RandomSubscriber,
+            topic: ".news.local".parse().unwrap(),
+            at: SimTime::from_secs(4),
+            validity: SimDuration::from_secs(20),
+            payload_bytes: 400,
+        }])
+        .mobility_tick(SimDuration::from_millis(tick_ms))
+        .build()
+        .unwrap()
+}
+
+/// Runs `scenario` under the default timer wheel and under the heap
+/// reference, asserting bit-identical reports.
+fn assert_wheel_matches_heap(scenario: Scenario, seed: u64) {
+    let wheel = World::new(scenario.clone(), seed).unwrap().run();
+    let mut heap_world = World::new(scenario, seed).unwrap();
+    heap_world.set_heap_queue(true);
+    let heap = heap_world.run();
+    assert_eq!(
+        wheel, heap,
+        "timer-wheel world diverged from the heap reference for seed {seed}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole-world equivalence under the random-waypoint model: random
+    /// populations, tick sizes, pause lengths, radio ranges and all four
+    /// protocol variants. Dense ranges produce heavy same-timestamp traffic
+    /// (TxEnd bursts, back-off storms) — exactly the batches the wheel
+    /// drains eagerly.
+    #[test]
+    fn world_reports_identical_wheel_vs_heap_random_waypoint(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..16,
+        tick_ms in 200u64..1_000,
+        pause_s in 0u64..20,
+        protocol_pick in 0u8..4,
+    ) {
+        let mobility = MobilityKind::RandomWaypoint {
+            area: Area::square(400.0),
+            speed_min: 2.0,
+            speed_max: 25.0,
+            pause: SimDuration::from_secs(pause_s),
+        };
+        let protocol = match protocol_pick {
+            0 => ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+            1 => ProtocolKind::Flooding(FloodingPolicy::Simple),
+            2 => ProtocolKind::Flooding(FloodingPolicy::InterestAware),
+            _ => ProtocolKind::Flooding(FloodingPolicy::NeighborInterest),
+        };
+        let scenario = random_scenario(mobility, protocol, nodes, tick_ms, 180.0);
+        assert_wheel_matches_heap(scenario, seed);
+    }
+
+    /// Same property under the city-section model, whose tighter clusters
+    /// produce more collisions and therefore more same-timestamp retries.
+    #[test]
+    fn world_reports_identical_wheel_vs_heap_city_section(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..16,
+        tick_ms in 200u64..1_000,
+    ) {
+        let scenario = random_scenario(
+            MobilityKind::CityCampus,
+            ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+            nodes,
+            tick_ms,
+            60.0,
+        );
+        assert_wheel_matches_heap(scenario, seed);
+    }
+
+    /// Timer-heavy stationary populations: mobility is a non-event, the run
+    /// is pure protocol timers and their broadcasts — the wheel's hot path.
+    #[test]
+    fn world_reports_identical_wheel_vs_heap_stationary(
+        seed in 0u64..1_000_000,
+        nodes in 8usize..24,
+        frugal in any::<bool>(),
+    ) {
+        let protocol = if frugal {
+            ProtocolKind::Frugal(ProtocolConfig::paper_default())
+        } else {
+            ProtocolKind::Flooding(FloodingPolicy::Simple)
+        };
+        let scenario = random_scenario(
+            MobilityKind::Stationary {
+                area: Area::square(700.0),
+            },
+            protocol,
+            nodes,
+            500,
+            200.0,
+        );
+        assert_wheel_matches_heap(scenario, seed);
+    }
+
+    /// Arena recycling under both schedulers: a reset world keeps its queue
+    /// choice and reproduces fresh-world reports bit for bit — the wheel's
+    /// clear (slab recycling, tombstone compaction, floor reset) is
+    /// invisible across seeds.
+    #[test]
+    fn arena_recycling_is_scheduler_invariant(
+        seeds in proptest::collection::vec(0u64..1_000_000, 2..5),
+        nodes in 4usize..12,
+    ) {
+        let mobility = MobilityKind::RandomWaypoint {
+            area: Area::square(400.0),
+            speed_min: 2.0,
+            speed_max: 25.0,
+            pause: SimDuration::from_secs(5),
+        };
+        let scenario = random_scenario(
+            mobility,
+            ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+            nodes,
+            500,
+            180.0,
+        );
+        let mut arena = WorldArena::new();
+        for seed in seeds {
+            let recycled = arena.checkout(&scenario, seed).unwrap().run_mut();
+            let mut heap_world = World::new(scenario.clone(), seed).unwrap();
+            heap_world.set_heap_queue(true);
+            prop_assert_eq!(
+                recycled,
+                heap_world.run(),
+                "recycled wheel world diverged from a fresh heap world for seed {}",
+                seed
+            );
+        }
+    }
+}
+
+/// Switching to the heap and back preserves the pending schedule: a world
+/// toggled twice still reproduces the default run exactly.
+#[test]
+fn queue_switch_roundtrip_preserves_the_run() {
+    let scenario = random_scenario(
+        MobilityKind::RandomWaypoint {
+            area: Area::square(400.0),
+            speed_min: 2.0,
+            speed_max: 20.0,
+            pause: SimDuration::from_secs(2),
+        },
+        ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+        10,
+        500,
+        180.0,
+    );
+    let reference = World::new(scenario.clone(), 7).unwrap().run();
+    let mut toggled = World::new(scenario, 7).unwrap();
+    toggled.set_heap_queue(true);
+    toggled.set_heap_queue(false);
+    assert_eq!(reference, toggled.run());
+}
