@@ -1,0 +1,182 @@
+//! Allocation scaling: proves the steady-state hot path is allocation-free
+//! at population scale and measures the per-node memory footprint.
+//!
+//! Two figures per `(protocol, population)` cell, printed as `alloc` report
+//! lines that `scripts/capture_bench_baseline.py` folds into
+//! `BENCH_BASELINE.json` alongside the timing baselines:
+//!
+//! ```text
+//! alloc alloc_scaling/steady_allocs/frugal/1000: 0
+//! alloc alloc_scaling/bytes_per_node/frugal/1000: 4312
+//! ```
+//!
+//! * `steady_allocs` — heap operations (alloc, alloc_zeroed, realloc) during
+//!   a 40-simulated-second window after warm-up, over a constant-density
+//!   stationary population. The scenario mirrors
+//!   `tests/alloc_free_steady_state.rs` at 12 nodes; this bench re-checks the
+//!   zero-allocation contract where it matters — at scale, where one stray
+//!   allocation per event would mean tens of thousands per window. The bench
+//!   exits non-zero if the count is not exactly zero, so running it is a
+//!   gate, not just a report.
+//! * `bytes_per_node` — net live heap bytes added by building *and warming*
+//!   one world, divided by the population: the steady working set per node
+//!   including every scratch buffer, pool and slab at its high-water mark
+//!   (an honest figure; sizing structs alone would flatter the number by
+//!   hiding the shared arenas).
+//!
+//! Not a criterion bench: the metrics are counts, not durations, so this is
+//! a plain `harness = false` main over a metering global allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use frugal::{FloodingPolicy, ProtocolConfig};
+use manet_sim::{
+    MobilityKind, ProtocolKind, Publication, PublisherChoice, Scenario, ScenarioBuilder, World,
+};
+use mobility::Area;
+use netsim::RadioConfig;
+use simkit::{SimDuration, SimTime};
+
+/// Counts heap operations inside a window (thread-local, like the
+/// steady-state test) and tracks net live bytes (process-wide) for the
+/// bytes/node figure.
+struct MeteredAlloc;
+
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+thread_local! {
+    static WINDOW: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn charge() {
+    WINDOW.with(|window| {
+        if let Some(count) = window.get() {
+            window.set(Some(count + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for MeteredAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        charge();
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        charge();
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        charge();
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+        }
+        new_ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: MeteredAlloc = MeteredAlloc;
+
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    WINDOW.with(|window| window.set(Some(0)));
+    f();
+    WINDOW.with(|window| {
+        let count = window.get().expect("measurement window still open");
+        window.set(None);
+        count
+    })
+}
+
+/// ~8 expected neighbors per node under a 150 m ideal radio.
+const DENSITY_PER_M2: f64 = 1.2e-4;
+
+/// A constant-density stationary population, all subscribed, with one
+/// long-validity event published during warm-up so id exchange and event
+/// retransmission stay active inside the measurement window.
+fn steady_scenario(protocol: ProtocolKind, nodes: usize) -> Scenario {
+    let side = (nodes as f64 / DENSITY_PER_M2).sqrt();
+    ScenarioBuilder::new()
+        .label("alloc-scaling")
+        .protocol(protocol)
+        .nodes(nodes)
+        .subscriber_fraction(1.0)
+        .mobility(MobilityKind::Stationary {
+            area: Area::square(side),
+        })
+        .radio(RadioConfig::ideal(150.0))
+        .timing(SimDuration::from_secs(2), SimDuration::from_secs(90))
+        .publications(vec![Publication {
+            publisher: PublisherChoice::Node(0),
+            topic: ".news.local".parse().unwrap(),
+            at: SimTime::from_secs(3),
+            validity: SimDuration::from_secs(85),
+            payload_bytes: 400,
+        }])
+        .mobility_tick(SimDuration::from_millis(500))
+        .build()
+        .expect("static scenario is valid")
+}
+
+/// One measured cell: returns `(steady_allocs, bytes_per_node, frames)`.
+fn measure(protocol: ProtocolKind, nodes: usize) -> (u64, i64, u64) {
+    let scenario = steady_scenario(protocol, nodes);
+    let live_before = LIVE_BYTES.load(Ordering::Relaxed);
+    let mut world = World::new(scenario, 1).expect("valid scenario");
+    // Warm-up: grow every scratch buffer, pool and slab to its peak.
+    world.run_until(SimTime::from_secs(40));
+    let bytes_per_node = (LIVE_BYTES.load(Ordering::Relaxed) - live_before) / nodes as i64;
+    let allocations = count_allocations(|| world.run_until(SimTime::from_secs(80)));
+    let report = world.run_mut();
+    let frames: u64 = report.nodes.iter().map(|n| n.traffic.frames_sent).sum();
+    (allocations, bytes_per_node, frames)
+}
+
+fn main() {
+    let cells = [
+        (
+            "frugal",
+            ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+        ),
+        ("flooding", ProtocolKind::Flooding(FloodingPolicy::Simple)),
+    ];
+    let mut stray = false;
+    for (name, protocol) in cells {
+        for nodes in [250usize, 1000] {
+            let (allocations, bytes_per_node, frames) = measure(protocol.clone(), nodes);
+            println!("alloc alloc_scaling/steady_allocs/{name}/{nodes}: {allocations}");
+            println!("alloc alloc_scaling/bytes_per_node/{name}/{nodes}: {bytes_per_node}");
+            assert!(
+                frames > 1000,
+                "{name}/{nodes}: the mesh must stay busy, sent {frames} frames"
+            );
+            if allocations != 0 {
+                eprintln!(
+                    "alloc_scaling: {name}/{nodes} allocated {allocations} times in the \
+                     steady-state window (expected 0)"
+                );
+                stray = true;
+            }
+        }
+    }
+    if stray {
+        std::process::exit(1);
+    }
+}

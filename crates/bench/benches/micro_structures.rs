@@ -5,7 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use frugal::{
-    DisseminationProtocol, EventTable, FrugalProtocol, Message, NeighborhoodTable, ProtocolConfig,
+    ActionBuf, DisseminationProtocol, EventTable, FrugalProtocol, Message, NeighborhoodTable,
+    ProtocolConfig,
 };
 use pubsub::{Event, EventId, ProcessId, SubscriptionSet, Topic};
 use simkit::{SimDuration, SimTime};
@@ -112,9 +113,18 @@ fn bench_protocol_hot_path(c: &mut Criterion) {
     group.bench_function("handle_100_heartbeats_and_id_lists", |b| {
         b.iter(|| {
             let mut protocol = FrugalProtocol::new(ProcessId(0), ProtocolConfig::paper_default());
-            protocol.subscribe(topic(2), SimTime::ZERO);
+            let mut out = ActionBuf::new();
+            protocol.subscribe(topic(2), SimTime::ZERO, &mut out);
+            out.clear();
             for seq in 0..20u64 {
-                protocol.publish(topic(3), SimDuration::from_secs(300), 400, SimTime::ZERO);
+                protocol.publish(
+                    topic(3),
+                    SimDuration::from_secs(300),
+                    400,
+                    SimTime::ZERO,
+                    &mut out,
+                );
+                out.clear();
                 let _ = seq;
             }
             let mut actions = 0usize;
@@ -125,12 +135,16 @@ fn bench_protocol_hot_path(c: &mut Criterion) {
                     subscriptions: SubscriptionSet::single(topic(2)),
                     speed: Some(10.0),
                 };
-                actions += protocol.handle_message(&hb, now).len();
+                protocol.handle_message(&hb, now, &mut out);
+                actions += out.len();
+                out.clear();
                 let ids = Message::EventIds {
                     from: ProcessId(i),
                     ids: vec![],
                 };
-                actions += protocol.handle_message(&ids, now).len();
+                protocol.handle_message(&ids, now, &mut out);
+                actions += out.len();
+                out.clear();
             }
             black_box(actions)
         })

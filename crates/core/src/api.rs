@@ -2,12 +2,16 @@
 //!
 //! Dissemination protocols are written as **pure state machines**: they never
 //! touch a clock, a socket or a scheduler themselves. Instead every input
-//! (application call, received message, expired timer) returns a list of
-//! [`Action`]s that the embedding environment — the discrete-event simulator,
-//! an example binary, or a real MAC — is responsible for carrying out. This
-//! keeps the paper's algorithm and the three flooding baselines testable in
-//! isolation and guarantees that all of them are driven through exactly the
-//! same interface in the experiments.
+//! (application call, received message, expired timer) appends the
+//! [`Action`]s it requests to a caller-provided [`ActionBuf`]; the embedding
+//! environment — the discrete-event simulator, an example binary, or a real
+//! MAC — drains the buffer and carries the actions out. This keeps the
+//! paper's algorithm and the three flooding baselines testable in isolation,
+//! guarantees that all of them are driven through exactly the same interface
+//! in the experiments, and (because the buffer and the vectors inside its
+//! messages are recycled) makes the steady-state callback path allocation
+//! free. The original `-> Vec<Action>` signatures survive as the
+//! [`VecActions`] adapter.
 
 use crate::messages::Message;
 use crate::metrics::ProtocolMetrics;
@@ -91,10 +95,155 @@ impl Action {
     }
 }
 
+/// A reusable buffer protocols append their [`Action`]s to, plus pools of
+/// the vectors that travel inside [`Message`]s.
+///
+/// One buffer serves every callback of every node of a simulated world: the
+/// embedder passes `&mut ActionBuf` into a callback, drains the appended
+/// actions, and executes them. Protocols build their outgoing `EventIds` /
+/// `Events` messages from the buffer's pooled vectors
+/// ([`ActionBuf::events_vec`] and friends), and the embedder hands the
+/// vectors back with [`ActionBuf::recycle_message`] once a message's life
+/// ends — so in steady state no callback allocates: the action vector, the
+/// id/event/recipient vectors and their capacities all cycle in place.
+///
+/// # Examples
+///
+/// ```
+/// use frugal::{ActionBuf, Action, DisseminationProtocol, FrugalProtocol, ProtocolConfig};
+/// use pubsub::ProcessId;
+/// use simkit::SimTime;
+///
+/// let mut p = FrugalProtocol::new(ProcessId(1), ProtocolConfig::paper_default());
+/// let mut out = ActionBuf::new();
+/// p.subscribe(".city.parking".parse()?, SimTime::ZERO, &mut out);
+/// for action in out.drain() {
+///     if let Action::Broadcast(message) = action {
+///         // hand `message` to the medium; recycle it when it dies
+///     }
+/// }
+/// # Ok::<(), pubsub::ParseTopicError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ActionBuf {
+    actions: Vec<Action>,
+    events_pool: Vec<Vec<Event>>,
+    ids_pool: Vec<Vec<EventId>>,
+    recipients_pool: Vec<Vec<ProcessId>>,
+}
+
+impl ActionBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        ActionBuf::default()
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` if no actions are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The buffered actions, oldest first.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Drains the buffered actions (oldest first), keeping the buffer's
+    /// capacity and pools for the next callback.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action> {
+        self.actions.drain(..)
+    }
+
+    /// Consumes the buffer, returning the plain action vector (pools are
+    /// dropped). The [`VecActions`] adapter is built on this.
+    pub fn into_actions(self) -> Vec<Action> {
+        self.actions
+    }
+
+    /// An empty `Vec<Event>` from the pool (or a fresh one), for building an
+    /// `Events` message.
+    pub fn events_vec(&mut self) -> Vec<Event> {
+        self.events_pool.pop().unwrap_or_default()
+    }
+
+    /// An empty `Vec<EventId>` from the pool (or a fresh one), for building
+    /// an `EventIds` message.
+    pub fn ids_vec(&mut self) -> Vec<EventId> {
+        self.ids_pool.pop().unwrap_or_default()
+    }
+
+    /// An empty `Vec<ProcessId>` from the pool (or a fresh one), for the
+    /// recipient list of an `Events` message.
+    pub fn recipients_vec(&mut self) -> Vec<ProcessId> {
+        self.recipients_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns an event vector to the pool (cleared, capacity kept).
+    pub fn recycle_events(&mut self, mut events: Vec<Event>) {
+        events.clear();
+        self.events_pool.push(events);
+    }
+
+    /// Returns an id vector to the pool (cleared, capacity kept).
+    pub fn recycle_ids(&mut self, mut ids: Vec<EventId>) {
+        ids.clear();
+        self.ids_pool.push(ids);
+    }
+
+    /// Returns a recipient vector to the pool (cleared, capacity kept).
+    pub fn recycle_recipients(&mut self, mut recipients: Vec<ProcessId>) {
+        recipients.clear();
+        self.recipients_pool.push(recipients);
+    }
+
+    /// Reclaims the vectors inside a retired message into the pools. The
+    /// embedder calls this when a broadcast message reaches the end of its
+    /// life (its transmission completed and every receiver handled it).
+    pub fn recycle_message(&mut self, message: Message) {
+        match message {
+            Message::Heartbeat { .. } => {}
+            Message::EventIds { ids, .. } => self.recycle_ids(ids),
+            Message::Events {
+                events, recipients, ..
+            } => {
+                self.recycle_events(events);
+                self.recycle_recipients(recipients);
+            }
+        }
+    }
+
+    /// Drops any buffered actions, recycling the vectors inside unbuffered
+    /// broadcast messages so their capacity is not lost.
+    pub fn clear(&mut self) {
+        while let Some(action) = self.actions.pop() {
+            if let Action::Broadcast(message) = action {
+                self.recycle_message(message);
+            }
+        }
+    }
+}
+
 /// A topic-based dissemination protocol for MANETs.
 ///
 /// Implemented by the paper's [`FrugalProtocol`](crate::FrugalProtocol) and by
 /// the three flooding baselines of the evaluation section.
+///
+/// Every input callback appends its requested effects to the caller's
+/// [`ActionBuf`] instead of returning a fresh vector — the contract that
+/// keeps the simulator's per-event hot path allocation free. Callbacks only
+/// ever *append*: buffered actions from earlier callbacks are left alone.
+/// The pre-buffer `-> Vec<Action>` signatures remain available through the
+/// blanket [`VecActions`] adapter.
 pub trait DisseminationProtocol: Debug + Send {
     /// A short, stable name used in experiment reports (e.g. `"frugal"`).
     fn name(&self) -> &'static str;
@@ -106,26 +255,27 @@ pub trait DisseminationProtocol: Debug + Send {
     fn subscriptions(&self) -> &SubscriptionSet;
 
     /// Subscribes to `topic`.
-    fn subscribe(&mut self, topic: Topic, now: SimTime) -> Vec<Action>;
+    fn subscribe(&mut self, topic: Topic, now: SimTime, out: &mut ActionBuf);
 
     /// Unsubscribes from `topic`.
-    fn unsubscribe(&mut self, topic: &Topic, now: SimTime) -> Vec<Action>;
+    fn unsubscribe(&mut self, topic: &Topic, now: SimTime, out: &mut ActionBuf);
 
     /// Publishes a new event on `topic` with the given validity period and
-    /// payload size, returning its identifier and the resulting actions.
+    /// payload size, returning its identifier.
     fn publish(
         &mut self,
         topic: Topic,
         validity: SimDuration,
         payload_bytes: usize,
         now: SimTime,
-    ) -> (EventId, Vec<Action>);
+        out: &mut ActionBuf,
+    ) -> EventId;
 
     /// Handles a message received from the broadcast medium.
-    fn handle_message(&mut self, message: &Message, now: SimTime) -> Vec<Action>;
+    fn handle_message(&mut self, message: &Message, now: SimTime, out: &mut ActionBuf);
 
     /// Handles the expiration of a previously armed timer.
-    fn handle_timer(&mut self, kind: TimerKind, now: SimTime) -> Vec<Action>;
+    fn handle_timer(&mut self, kind: TimerKind, now: SimTime, out: &mut ActionBuf);
 
     /// Informs the protocol of the current speed of its host device in m/s
     /// (`None` if no tachometer is available). The paper uses this only as an
@@ -156,6 +306,58 @@ pub trait DisseminationProtocol: Debug + Send {
         self.metrics().has_delivered(id)
     }
 }
+
+/// The pre-buffer callback signatures, as a blanket adapter over every
+/// [`DisseminationProtocol`]: each call allocates a fresh [`ActionBuf`] and
+/// returns the collected `Vec<Action>`. Convenient for tests, examples and
+/// scripted interactions; the simulator hot path threads one reusable buffer
+/// through the trait methods instead.
+pub trait VecActions: DisseminationProtocol {
+    /// [`DisseminationProtocol::subscribe`], collecting into a fresh vector.
+    fn subscribe_vec(&mut self, topic: Topic, now: SimTime) -> Vec<Action> {
+        let mut out = ActionBuf::new();
+        self.subscribe(topic, now, &mut out);
+        out.into_actions()
+    }
+
+    /// [`DisseminationProtocol::unsubscribe`], collecting into a fresh vector.
+    fn unsubscribe_vec(&mut self, topic: &Topic, now: SimTime) -> Vec<Action> {
+        let mut out = ActionBuf::new();
+        self.unsubscribe(topic, now, &mut out);
+        out.into_actions()
+    }
+
+    /// [`DisseminationProtocol::publish`], collecting into a fresh vector.
+    fn publish_vec(
+        &mut self,
+        topic: Topic,
+        validity: SimDuration,
+        payload_bytes: usize,
+        now: SimTime,
+    ) -> (EventId, Vec<Action>) {
+        let mut out = ActionBuf::new();
+        let id = self.publish(topic, validity, payload_bytes, now, &mut out);
+        (id, out.into_actions())
+    }
+
+    /// [`DisseminationProtocol::handle_message`], collecting into a fresh
+    /// vector.
+    fn handle_message_vec(&mut self, message: &Message, now: SimTime) -> Vec<Action> {
+        let mut out = ActionBuf::new();
+        self.handle_message(message, now, &mut out);
+        out.into_actions()
+    }
+
+    /// [`DisseminationProtocol::handle_timer`], collecting into a fresh
+    /// vector.
+    fn handle_timer_vec(&mut self, kind: TimerKind, now: SimTime) -> Vec<Action> {
+        let mut out = ActionBuf::new();
+        self.handle_timer(kind, now, &mut out);
+        out.into_actions()
+    }
+}
+
+impl<P: DisseminationProtocol + ?Sized> VecActions for P {}
 
 #[cfg(test)]
 mod tests {

@@ -14,7 +14,7 @@
 //! [`FloodingPolicy`]. They expose the same [`DisseminationProtocol`] interface
 //! as the frugal protocol so the experiments drive all four identically.
 
-use crate::api::{Action, DisseminationProtocol, TimerKind};
+use crate::api::{Action, ActionBuf, DisseminationProtocol, TimerKind};
 use crate::messages::Message;
 use crate::metrics::ProtocolMetrics;
 use crate::neighborhood::NeighborhoodTable;
@@ -93,22 +93,22 @@ impl FloodingProtocol {
         self.store.len()
     }
 
-    fn broadcast(&mut self, message: Message, actions: &mut Vec<Action>) {
+    fn broadcast(&mut self, message: Message, out: &mut ActionBuf) {
         self.metrics.record_send(message.event_count() as u64);
-        actions.push(Action::Broadcast(message));
+        out.push(Action::Broadcast(message));
     }
 
-    fn ensure_flood_timer(&mut self, actions: &mut Vec<Action>) {
+    fn ensure_flood_timer(&mut self, out: &mut ActionBuf) {
         if !self.flood_running {
             self.flood_running = true;
-            actions.push(Action::SetTimer {
+            out.push(Action::SetTimer {
                 kind: TimerKind::FloodTick,
                 after: self.flood_interval,
             });
         }
     }
 
-    fn ensure_heartbeat_timer(&mut self, actions: &mut Vec<Action>) {
+    fn ensure_heartbeat_timer(&mut self, out: &mut ActionBuf) {
         if self.policy == FloodingPolicy::NeighborInterest && !self.heartbeat_running {
             self.heartbeat_running = true;
             let hb = Message::Heartbeat {
@@ -116,63 +116,65 @@ impl FloodingProtocol {
                 subscriptions: self.subscriptions.clone(),
                 speed: None,
             };
-            self.broadcast(hb, actions);
-            actions.push(Action::SetTimer {
+            self.broadcast(hb, out);
+            out.push(Action::SetTimer {
                 kind: TimerKind::Heartbeat,
                 after: self.flood_interval,
             });
         }
     }
 
-    /// The events this instance would flood right now, according to its policy.
-    fn events_to_flood(&self, now: SimTime) -> Vec<Event> {
-        self.store
-            .values()
-            .filter(|e| e.is_valid_at(now))
-            .filter(|e| match self.policy {
-                FloodingPolicy::Simple => true,
-                FloodingPolicy::InterestAware => {
-                    self.subscriptions.matches(&e.topic) || e.id.publisher == self.id
-                }
-                FloodingPolicy::NeighborInterest => {
-                    (self.subscriptions.matches(&e.topic) || e.id.publisher == self.id)
-                        && self.neighborhood.someone_subscribed_to(&e.topic)
-                }
-            })
-            .cloned()
-            .collect()
+    /// Appends the events this instance would flood right now, according to
+    /// its policy, to `events`.
+    fn events_to_flood_into(&self, now: SimTime, events: &mut Vec<Event>) {
+        events.extend(
+            self.store
+                .values()
+                .filter(|e| e.is_valid_at(now))
+                .filter(|e| match self.policy {
+                    FloodingPolicy::Simple => true,
+                    FloodingPolicy::InterestAware => {
+                        self.subscriptions.matches(&e.topic) || e.id.publisher == self.id
+                    }
+                    FloodingPolicy::NeighborInterest => {
+                        (self.subscriptions.matches(&e.topic) || e.id.publisher == self.id)
+                            && self.neighborhood.someone_subscribed_to(&e.topic)
+                    }
+                })
+                .cloned(),
+        );
     }
 
-    fn on_flood_tick(&mut self, now: SimTime) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_flood_tick(&mut self, now: SimTime, out: &mut ActionBuf) {
         if !self.flood_running {
-            return actions;
+            return;
         }
         // Expired events are of no use and are dropped from the store.
         self.store.retain(|_, e| e.is_valid_at(now));
         // The neighbors'-interests variant forgets neighbors that went silent.
         if self.policy == FloodingPolicy::NeighborInterest {
             self.neighborhood
-                .collect_stale(now, self.flood_interval.mul_f64(2.5));
+                .prune_stale(now, self.flood_interval.mul_f64(2.5));
         }
-        let events = self.events_to_flood(now);
-        if !events.is_empty() {
+        let mut events = out.events_vec();
+        self.events_to_flood_into(now, &mut events);
+        if events.is_empty() {
+            out.recycle_events(events);
+        } else {
             let message = Message::Events {
                 from: self.id,
                 events,
-                recipients: Vec::new(),
+                recipients: out.recipients_vec(),
             };
-            self.broadcast(message, &mut actions);
+            self.broadcast(message, out);
         }
-        actions.push(Action::SetTimer {
+        out.push(Action::SetTimer {
             kind: TimerKind::FloodTick,
             after: self.flood_interval,
         });
-        actions
     }
 
-    fn on_events_received(&mut self, events: &[Event], now: SimTime) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_events_received(&mut self, events: &[Event], now: SimTime, out: &mut ActionBuf) {
         for event in events {
             if !event.is_valid_at(now) {
                 continue;
@@ -184,9 +186,9 @@ impl FloodingProtocol {
                 } else {
                     self.store.insert(event.id, event.clone());
                     if self.metrics.record_delivery(event.id, now) {
-                        actions.push(Action::Deliver(event.clone()));
+                        out.push(Action::Deliver(event.clone()));
                     }
-                    self.ensure_flood_timer(&mut actions);
+                    self.ensure_flood_timer(out);
                 }
             } else {
                 self.metrics.record_parasite();
@@ -194,11 +196,10 @@ impl FloodingProtocol {
                 // precisely the waste the paper quantifies.
                 if self.policy == FloodingPolicy::Simple && !self.store.contains_key(&event.id) {
                     self.store.insert(event.id, event.clone());
-                    self.ensure_flood_timer(&mut actions);
+                    self.ensure_flood_timer(out);
                 }
             }
         }
-        actions
     }
 }
 
@@ -215,17 +216,14 @@ impl DisseminationProtocol for FloodingProtocol {
         &self.subscriptions
     }
 
-    fn subscribe(&mut self, topic: Topic, _now: SimTime) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn subscribe(&mut self, topic: Topic, _now: SimTime, out: &mut ActionBuf) {
         self.subscriptions.subscribe(topic);
-        self.ensure_flood_timer(&mut actions);
-        self.ensure_heartbeat_timer(&mut actions);
-        actions
+        self.ensure_flood_timer(out);
+        self.ensure_heartbeat_timer(out);
     }
 
-    fn unsubscribe(&mut self, topic: &Topic, _now: SimTime) -> Vec<Action> {
+    fn unsubscribe(&mut self, topic: &Topic, _now: SimTime, _out: &mut ActionBuf) {
         self.subscriptions.unsubscribe(topic);
-        Vec::new()
     }
 
     fn publish(
@@ -234,8 +232,8 @@ impl DisseminationProtocol for FloodingProtocol {
         validity: SimDuration,
         payload_bytes: usize,
         now: SimTime,
-    ) -> (EventId, Vec<Action>) {
-        let mut actions = Vec::new();
+        out: &mut ActionBuf,
+    ) -> EventId {
         let id = EventId::new(self.id, self.next_sequence);
         self.next_sequence += 1;
         let event = Event::new(id, topic.clone(), now, validity, payload_bytes);
@@ -243,21 +241,23 @@ impl DisseminationProtocol for FloodingProtocol {
         self.store.insert(id, event.clone());
         // The publisher pushes the first copy out immediately; the flood timer
         // takes over afterwards.
+        let mut events = out.events_vec();
+        events.push(event.clone());
         let message = Message::Events {
             from: self.id,
-            events: vec![event.clone()],
-            recipients: Vec::new(),
+            events,
+            recipients: out.recipients_vec(),
         };
-        self.broadcast(message, &mut actions);
+        self.broadcast(message, out);
         if self.subscriptions.matches(&topic) && self.metrics.record_delivery(id, now) {
-            actions.push(Action::Deliver(event));
+            out.push(Action::Deliver(event));
         }
-        self.ensure_flood_timer(&mut actions);
-        self.ensure_heartbeat_timer(&mut actions);
-        (id, actions)
+        self.ensure_flood_timer(out);
+        self.ensure_heartbeat_timer(out);
+        id
     }
 
-    fn handle_message(&mut self, message: &Message, now: SimTime) -> Vec<Action> {
+    fn handle_message(&mut self, message: &Message, now: SimTime, out: &mut ActionBuf) {
         match message {
             Message::Heartbeat {
                 from,
@@ -268,33 +268,30 @@ impl DisseminationProtocol for FloodingProtocol {
                     self.neighborhood
                         .upsert(*from, subscriptions.clone(), *speed, now);
                 }
-                Vec::new()
             }
-            Message::EventIds { .. } => Vec::new(),
-            Message::Events { events, .. } => self.on_events_received(events, now),
+            Message::EventIds { .. } => {}
+            Message::Events { events, .. } => self.on_events_received(events, now, out),
         }
     }
 
-    fn handle_timer(&mut self, kind: TimerKind, now: SimTime) -> Vec<Action> {
+    fn handle_timer(&mut self, kind: TimerKind, now: SimTime, out: &mut ActionBuf) {
         match kind {
-            TimerKind::FloodTick => self.on_flood_tick(now),
+            TimerKind::FloodTick => self.on_flood_tick(now, out),
             TimerKind::Heartbeat => {
-                let mut actions = Vec::new();
                 if self.heartbeat_running {
                     let hb = Message::Heartbeat {
                         from: self.id,
                         subscriptions: self.subscriptions.clone(),
                         speed: None,
                     };
-                    self.broadcast(hb, &mut actions);
-                    actions.push(Action::SetTimer {
+                    self.broadcast(hb, out);
+                    out.push(Action::SetTimer {
                         kind: TimerKind::Heartbeat,
                         after: self.flood_interval,
                     });
                 }
-                actions
             }
-            TimerKind::NeighborhoodGc | TimerKind::BackOff => Vec::new(),
+            TimerKind::NeighborhoodGc | TimerKind::BackOff => {}
         }
     }
 
@@ -322,6 +319,7 @@ impl DisseminationProtocol for FloodingProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::VecActions;
 
     fn topic(s: &str) -> Topic {
         s.parse().unwrap()
@@ -374,7 +372,7 @@ mod tests {
     #[test]
     fn publish_sends_immediately_and_arms_the_flood_timer() {
         let mut p = proto(1, FloodingPolicy::Simple);
-        let (_, actions) = p.publish(topic(".T0"), SimDuration::from_secs(60), 400, t(0));
+        let (_, actions) = p.publish_vec(topic(".T0"), SimDuration::from_secs(60), 400, t(0));
         assert_eq!(broadcast_events(&actions), 1);
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -390,14 +388,14 @@ mod tests {
     #[test]
     fn flood_tick_rebroadcasts_until_validity_expires() {
         let mut p = proto(1, FloodingPolicy::Simple);
-        p.publish(topic(".T0"), SimDuration::from_secs(10), 400, t(0));
+        p.publish_vec(topic(".T0"), SimDuration::from_secs(10), 400, t(0));
         // During the validity period the event goes out every tick.
-        let actions = p.handle_timer(TimerKind::FloodTick, t(1));
+        let actions = p.handle_timer_vec(TimerKind::FloodTick, t(1));
         assert_eq!(broadcast_events(&actions), 1);
-        let actions = p.handle_timer(TimerKind::FloodTick, t(5));
+        let actions = p.handle_timer_vec(TimerKind::FloodTick, t(5));
         assert_eq!(broadcast_events(&actions), 1);
         // After expiry nothing is sent and the store is purged.
-        let actions = p.handle_timer(TimerKind::FloodTick, t(30));
+        let actions = p.handle_timer_vec(TimerKind::FloodTick, t(30));
         assert_eq!(broadcast_events(&actions), 0);
         assert_eq!(p.stored_events(), 0);
         // The timer keeps re-arming in all cases (the node may receive more events).
@@ -413,13 +411,13 @@ mod tests {
     #[test]
     fn simple_flooding_forwards_parasite_events() {
         let mut p = proto(1, FloodingPolicy::Simple);
-        p.subscribe(topic(".mine"), t(0));
-        let actions = p.handle_message(&incoming(0, ".other"), t(1));
+        p.subscribe_vec(topic(".mine"), t(0));
+        let actions = p.handle_message_vec(&incoming(0, ".other"), t(1));
         // Not delivered (parasite) but stored for re-flooding.
         assert!(actions.iter().all(|a| a.as_delivery().is_none()));
         assert_eq!(p.metrics().parasites_received, 1);
         assert_eq!(p.stored_events(), 1);
-        let tick = p.handle_timer(TimerKind::FloodTick, t(2));
+        let tick = p.handle_timer_vec(TimerKind::FloodTick, t(2));
         assert_eq!(
             broadcast_events(&tick),
             1,
@@ -430,34 +428,34 @@ mod tests {
     #[test]
     fn interest_aware_flooding_drops_parasites() {
         let mut p = proto(1, FloodingPolicy::InterestAware);
-        p.subscribe(topic(".mine"), t(0));
-        p.handle_message(&incoming(0, ".other"), t(1));
+        p.subscribe_vec(topic(".mine"), t(0));
+        p.handle_message_vec(&incoming(0, ".other"), t(1));
         assert_eq!(p.metrics().parasites_received, 1);
         assert_eq!(p.stored_events(), 0, "parasites are not stored");
-        let tick = p.handle_timer(TimerKind::FloodTick, t(2));
+        let tick = p.handle_timer_vec(TimerKind::FloodTick, t(2));
         assert_eq!(broadcast_events(&tick), 0);
         // Interesting events are stored, delivered and re-flooded.
-        let actions = p.handle_message(&incoming(1, ".mine.news"), t(3));
+        let actions = p.handle_message_vec(&incoming(1, ".mine.news"), t(3));
         assert!(actions.iter().any(|a| a.as_delivery().is_some()));
-        let tick = p.handle_timer(TimerKind::FloodTick, t(4));
+        let tick = p.handle_timer_vec(TimerKind::FloodTick, t(4));
         assert_eq!(broadcast_events(&tick), 1);
     }
 
     #[test]
     fn neighbor_interest_flooding_needs_an_interested_neighbor() {
         let mut p = proto(1, FloodingPolicy::NeighborInterest);
-        let sub_actions = p.subscribe(topic(".mine"), t(0));
+        let sub_actions = p.subscribe_vec(topic(".mine"), t(0));
         // The variant sends heartbeats to learn neighbor interests.
         assert!(sub_actions
             .iter()
             .filter_map(|a| a.as_broadcast())
             .any(|m| matches!(m, Message::Heartbeat { .. })));
-        p.handle_message(&incoming(0, ".mine.news"), t(1));
+        p.handle_message_vec(&incoming(0, ".mine.news"), t(1));
         // No known neighbor interested yet: nothing is flooded.
-        let tick = p.handle_timer(TimerKind::FloodTick, t(2));
+        let tick = p.handle_timer_vec(TimerKind::FloodTick, t(2));
         assert_eq!(broadcast_events(&tick), 0);
         // A neighbor subscribed to .mine appears.
-        p.handle_message(
+        p.handle_message_vec(
             &Message::Heartbeat {
                 from: ProcessId(2),
                 subscriptions: SubscriptionSet::single(topic(".mine")),
@@ -465,21 +463,21 @@ mod tests {
             },
             t(3),
         );
-        let tick = p.handle_timer(TimerKind::FloodTick, t(3));
+        let tick = p.handle_timer_vec(TimerKind::FloodTick, t(3));
         assert_eq!(broadcast_events(&tick), 1);
         // If the neighbor goes silent long enough it is forgotten again.
-        let tick = p.handle_timer(TimerKind::FloodTick, t(30));
+        let tick = p.handle_timer_vec(TimerKind::FloodTick, t(30));
         assert_eq!(broadcast_events(&tick), 0);
     }
 
     #[test]
     fn duplicates_are_counted_not_redelivered() {
         let mut p = proto(1, FloodingPolicy::Simple);
-        p.subscribe(topic(".a"), t(0));
-        let first = p.handle_message(&incoming(0, ".a.x"), t(1));
+        p.subscribe_vec(topic(".a"), t(0));
+        let first = p.handle_message_vec(&incoming(0, ".a.x"), t(1));
         assert!(first.iter().any(|a| a.as_delivery().is_some()));
         for _ in 0..5 {
-            let again = p.handle_message(&incoming(0, ".a.x"), t(2));
+            let again = p.handle_message_vec(&incoming(0, ".a.x"), t(2));
             assert!(again.iter().all(|a| a.as_delivery().is_none()));
         }
         assert_eq!(p.metrics().events_delivered, 1);
@@ -489,7 +487,7 @@ mod tests {
     #[test]
     fn expired_incoming_events_are_ignored() {
         let mut p = proto(1, FloodingPolicy::Simple);
-        p.subscribe(topic(".a"), t(0));
+        p.subscribe_vec(topic(".a"), t(0));
         let stale = Message::Events {
             from: ProcessId(5),
             events: vec![Event::new(
@@ -501,7 +499,7 @@ mod tests {
             )],
             recipients: vec![],
         };
-        let actions = p.handle_message(&stale, t(100));
+        let actions = p.handle_message_vec(&stale, t(100));
         assert!(actions.is_empty());
         assert_eq!(p.stored_events(), 0);
     }
@@ -509,17 +507,19 @@ mod tests {
     #[test]
     fn heartbeat_timer_only_matters_for_neighbor_interest() {
         let mut p = proto(1, FloodingPolicy::NeighborInterest);
-        p.subscribe(topic(".a"), t(0));
-        let hb = p.handle_timer(TimerKind::Heartbeat, t(1));
+        p.subscribe_vec(topic(".a"), t(0));
+        let hb = p.handle_timer_vec(TimerKind::Heartbeat, t(1));
         assert_eq!(hb.iter().filter_map(|a| a.as_broadcast()).count(), 1);
 
         let mut simple = proto(2, FloodingPolicy::Simple);
-        simple.subscribe(topic(".a"), t(0));
-        assert!(simple.handle_timer(TimerKind::Heartbeat, t(1)).is_empty());
-        // Frugal-specific timers are ignored by every flooding variant.
-        assert!(simple.handle_timer(TimerKind::BackOff, t(1)).is_empty());
+        simple.subscribe_vec(topic(".a"), t(0));
         assert!(simple
-            .handle_timer(TimerKind::NeighborhoodGc, t(1))
+            .handle_timer_vec(TimerKind::Heartbeat, t(1))
+            .is_empty());
+        // Frugal-specific timers are ignored by every flooding variant.
+        assert!(simple.handle_timer_vec(TimerKind::BackOff, t(1)).is_empty());
+        assert!(simple
+            .handle_timer_vec(TimerKind::NeighborhoodGc, t(1))
             .is_empty());
     }
 
@@ -533,9 +533,9 @@ mod tests {
             FloodingPolicy::NeighborInterest,
         ] {
             let mut p = proto(1, policy);
-            p.publish(topic(".parking"), SimDuration::from_secs(60), 400, t(0));
+            p.publish_vec(topic(".parking"), SimDuration::from_secs(60), 400, t(0));
             if policy == FloodingPolicy::NeighborInterest {
-                p.handle_message(
+                p.handle_message_vec(
                     &Message::Heartbeat {
                         from: ProcessId(2),
                         subscriptions: SubscriptionSet::single(topic(".parking")),
@@ -544,7 +544,7 @@ mod tests {
                     t(0),
                 );
             }
-            let tick = p.handle_timer(TimerKind::FloodTick, t(1));
+            let tick = p.handle_timer_vec(TimerKind::FloodTick, t(1));
             assert_eq!(
                 broadcast_events(&tick),
                 1,
@@ -562,10 +562,10 @@ mod tests {
         ] {
             let script = |p: &mut FloodingProtocol| {
                 let produced = vec![
-                    p.subscribe(topic(".mine"), t(0)),
-                    p.publish(topic(".mine.x"), SimDuration::from_secs(60), 400, t(1))
+                    p.subscribe_vec(topic(".mine"), t(0)),
+                    p.publish_vec(topic(".mine.x"), SimDuration::from_secs(60), 400, t(1))
                         .1,
-                    p.handle_message(
+                    p.handle_message_vec(
                         &Message::Heartbeat {
                             from: ProcessId(9),
                             subscriptions: SubscriptionSet::single(topic(".mine")),
@@ -573,9 +573,9 @@ mod tests {
                         },
                         t(1),
                     ),
-                    p.handle_message(&incoming(0, ".mine.news"), t(2)),
-                    p.handle_message(&incoming(1, ".other"), t(2)),
-                    p.handle_timer(TimerKind::FloodTick, t(3)),
+                    p.handle_message_vec(&incoming(0, ".mine.news"), t(2)),
+                    p.handle_message_vec(&incoming(1, ".other"), t(2)),
+                    p.handle_timer_vec(TimerKind::FloodTick, t(3)),
                 ];
                 (produced, p.metrics().clone())
             };
@@ -597,9 +597,9 @@ mod tests {
     #[test]
     fn subscriptions_accessor_reflects_changes() {
         let mut p = proto(1, FloodingPolicy::InterestAware);
-        p.subscribe(topic(".a"), t(0));
+        p.subscribe_vec(topic(".a"), t(0));
         assert_eq!(p.subscriptions().len(), 1);
-        p.unsubscribe(&topic(".a"), t(1));
+        p.unsubscribe_vec(&topic(".a"), t(1));
         assert!(p.subscriptions().is_empty());
         assert_eq!(p.id(), ProcessId(1));
         assert_eq!(p.policy(), FloodingPolicy::InterestAware);

@@ -123,11 +123,34 @@ impl EventTable {
     /// to a process with the given `subscriptions` (the paper's
     /// `GETEVENTSIDS`).
     pub fn ids_of_interest(&self, subscriptions: &SubscriptionSet, now: SimTime) -> Vec<EventId> {
+        let mut ids = Vec::new();
+        self.ids_of_interest_into(subscriptions, now, &mut ids);
+        ids
+    }
+
+    /// Appends the identifiers [`EventTable::ids_of_interest`] would return to
+    /// `out` without allocating a fresh vector.
+    pub fn ids_of_interest_into(
+        &self,
+        subscriptions: &SubscriptionSet,
+        now: SimTime,
+        out: &mut Vec<EventId>,
+    ) {
+        out.extend(
+            self.entries
+                .values()
+                .filter(|s| s.event.is_valid_at(now) && subscriptions.matches(&s.event.topic))
+                .map(|s| s.event.id),
+        );
+    }
+
+    /// `true` if at least one still-valid stored event matches
+    /// `subscriptions` — the allocation-free form of asking whether
+    /// [`EventTable::ids_of_interest`] would be non-empty.
+    pub fn any_of_interest(&self, subscriptions: &SubscriptionSet, now: SimTime) -> bool {
         self.entries
             .values()
-            .filter(|s| s.event.is_valid_at(now) && subscriptions.matches(&s.event.topic))
-            .map(|s| s.event.id)
-            .collect()
+            .any(|s| s.event.is_valid_at(now) && subscriptions.matches(&s.event.topic))
     }
 
     /// The still-valid stored events published on `topic` or one of its
@@ -221,6 +244,16 @@ impl EventTable {
             self.entries.remove(id);
         }
         expired
+    }
+
+    /// Removes every expired event without collecting the removed ids —
+    /// the allocation-free form of [`EventTable::remove_expired`] used on the
+    /// protocol's periodic garbage-collection path. Returns how many events
+    /// were dropped.
+    pub fn prune_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, s| s.event.is_valid_at(now));
+        before - self.entries.len()
     }
 }
 

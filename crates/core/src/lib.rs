@@ -25,7 +25,8 @@
 //! Two processes meeting: the subscriber hears the publisher's event.
 //!
 //! ```
-//! use frugal::{Action, DisseminationProtocol, FrugalProtocol, ProtocolConfig, TimerKind};
+//! use frugal::{Action, ActionBuf, DisseminationProtocol, FrugalProtocol, ProtocolConfig,
+//!              TimerKind, VecActions};
 //! use pubsub::ProcessId;
 //! use simkit::{SimDuration, SimTime};
 //!
@@ -33,12 +34,16 @@
 //! let mut publisher = FrugalProtocol::new(ProcessId(1), ProtocolConfig::paper_default());
 //! let mut subscriber = FrugalProtocol::new(ProcessId(2), ProtocolConfig::paper_default());
 //!
-//! // The subscriber joins the topic and starts beaconing.
+//! // The subscriber joins the topic and starts beaconing. Callbacks append
+//! // their requested effects to a reusable `ActionBuf`; the `*_vec` adapter
+//! // methods collect them into a fresh vector when convenience beats reuse.
 //! let topic = ".city.parking".parse()?;
-//! let hello = subscriber.subscribe(topic, now);
+//! let mut out = ActionBuf::new();
+//! subscriber.subscribe(topic, now, &mut out);
+//! let hello: Vec<Action> = out.drain().collect();
 //!
 //! // The publisher announces a freed parking spot.
-//! let (event_id, _) = publisher.publish(
+//! let (event_id, _) = publisher.publish_vec(
 //!     ".city.parking.lot42".parse()?,
 //!     SimDuration::from_secs(180),
 //!     400,
@@ -49,17 +54,18 @@
 //! // identifiers of the events it holds ...
 //! for action in &hello {
 //!     if let Action::Broadcast(msg) = action {
-//!         publisher.handle_message(msg, now);
+//!         publisher.handle_message(msg, now, &mut out);
 //!     }
 //! }
+//! out.clear();
 //! // ... the subscriber, having nothing, announces an empty id list, the
 //! // publisher arms its back-off and finally hands the event over:
 //! use frugal::Message;
-//! publisher.handle_message(&Message::EventIds { from: ProcessId(2), ids: vec![] }, now);
-//! let send = publisher.handle_timer(TimerKind::BackOff, now + SimDuration::from_millis(500));
+//! publisher.handle_message_vec(&Message::EventIds { from: ProcessId(2), ids: vec![] }, now);
+//! let send = publisher.handle_timer_vec(TimerKind::BackOff, now + SimDuration::from_millis(500));
 //! for action in &send {
 //!     if let Action::Broadcast(msg) = action {
-//!         subscriber.handle_message(msg, now + SimDuration::from_millis(501));
+//!         subscriber.handle_message(msg, now + SimDuration::from_millis(501), &mut out);
 //!     }
 //! }
 //! assert!(subscriber.has_delivered(&event_id));
@@ -80,7 +86,7 @@ pub mod metrics;
 pub mod neighborhood;
 pub mod protocol;
 
-pub use api::{Action, DisseminationProtocol, TimerKind};
+pub use api::{Action, ActionBuf, DisseminationProtocol, TimerKind, VecActions};
 pub use baselines::{FloodingPolicy, FloodingProtocol};
 pub use config::ProtocolConfig;
 pub use event_table::{EventTable, InsertError, StoredEvent};

@@ -9,8 +9,19 @@
 
 use pubsub::{EventId, ProcessId, SubscriptionSet, Topic};
 use serde::{Deserialize, Serialize};
-use simkit::{SimDuration, SimTime};
+use simkit::{BitSet, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashSet};
+
+/// Process ids below this bound are mirrored in a presence bitset so that
+/// membership tests — the hottest neighborhood query on the message-receive
+/// path — are a single load+mask instead of a tree walk. Simulated worlds
+/// assign dense ids from zero, so every real scenario fits; sparse ids above
+/// the bound (possible in hand-written tests) simply fall back to the tree.
+const DENSE_ID_BOUND: u64 = 1 << 22;
+
+fn dense_index(id: ProcessId) -> Option<usize> {
+    (id.0 < DENSE_ID_BOUND).then_some(id.0 as usize)
+}
 
 /// One row of the neighborhood table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +47,12 @@ pub struct NeighborhoodTable {
     /// `departed_capacity`; disabled when the capacity is zero.
     departed: BTreeMap<ProcessId, (HashSet<EventId>, SimTime)>,
     departed_capacity: usize,
+    /// Presence mirror of `entries` for ids below [`DENSE_ID_BOUND`], kept in
+    /// lockstep by `upsert`/eviction/`clear`.
+    present: BitSet,
+    /// Reusable scratch for [`NeighborhoodTable::prune_stale`]; always left
+    /// empty between calls.
+    stale_scratch: Vec<ProcessId>,
 }
 
 impl NeighborhoodTable {
@@ -67,7 +84,10 @@ impl NeighborhoodTable {
 
     /// `true` if `id` is currently in the table.
     pub fn contains(&self, id: ProcessId) -> bool {
-        self.entries.contains_key(&id)
+        match dense_index(id) {
+            Some(index) => self.present.contains(index),
+            None => self.entries.contains_key(&id),
+        }
     }
 
     /// The entry for neighbor `id`, if present.
@@ -83,6 +103,12 @@ impl NeighborhoodTable {
     /// The identifiers of all tracked neighbors.
     pub fn ids(&self) -> Vec<ProcessId> {
         self.entries.keys().copied().collect()
+    }
+
+    /// Appends the identifiers of all tracked neighbors (in id order) to
+    /// `out` without allocating a fresh vector.
+    pub fn ids_into(&self, out: &mut Vec<ProcessId>) {
+        out.extend(self.entries.keys().copied());
     }
 
     /// Inserts or refreshes the entry for `id` (the paper's
@@ -110,6 +136,9 @@ impl NeighborhoodTable {
                     speed,
                     stored_at: now,
                 });
+                if let Some(index) = dense_index(id) {
+                    self.present.insert(index);
+                }
                 true
             }
             std::collections::btree_map::Entry::Occupied(mut slot) => {
@@ -157,14 +186,17 @@ impl NeighborhoodTable {
 
     /// Average advertised speed of the neighbors that share one, in m/s.
     /// `None` when no neighbor advertises a speed (the paper then keeps the
-    /// default heartbeat delay).
+    /// default heartbeat delay). Computed streaming, in the same id-order
+    /// summation as the historical collect-then-sum implementation, so the
+    /// floating-point result is bit-identical.
     pub fn average_speed(&self) -> Option<f64> {
-        let speeds: Vec<f64> = self.entries.values().filter_map(|e| e.speed).collect();
-        if speeds.is_empty() {
-            None
-        } else {
-            Some(speeds.iter().sum::<f64>() / speeds.len() as f64)
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for speed in self.entries.values().filter_map(|e| e.speed) {
+            sum += speed;
+            count += 1;
         }
+        (count > 0).then(|| sum / count as f64)
     }
 
     /// Evicts entries whose store time is older than `now - ngc_delay` (the
@@ -177,8 +209,36 @@ impl NeighborhoodTable {
             .filter(|(_, e)| e.stored_at < cutoff)
             .map(|(id, _)| *id)
             .collect();
-        for id in &stale {
+        self.evict(&stale, now);
+        stale
+    }
+
+    /// Evicts stale entries like [`NeighborhoodTable::collect_stale`] but
+    /// reuses an internal scratch vector instead of collecting the evicted
+    /// identifiers — the allocation-free form used on the protocol's periodic
+    /// garbage-collection path. Returns how many neighbors were evicted.
+    pub fn prune_stale(&mut self, now: SimTime, ngc_delay: SimDuration) -> usize {
+        let cutoff = now - ngc_delay;
+        let mut stale = std::mem::take(&mut self.stale_scratch);
+        stale.extend(
+            self.entries
+                .iter()
+                .filter(|(_, e)| e.stored_at < cutoff)
+                .map(|(id, _)| *id),
+        );
+        let evicted = stale.len();
+        self.evict(&stale, now);
+        stale.clear();
+        self.stale_scratch = stale;
+        evicted
+    }
+
+    fn evict(&mut self, stale: &[ProcessId], now: SimTime) {
+        for id in stale {
             if let Some(entry) = self.entries.remove(id) {
+                if let Some(index) = dense_index(*id) {
+                    self.present.remove(index);
+                }
                 if self.departed_capacity > 0 && !entry.known_events.is_empty() {
                     self.departed.insert(*id, (entry.known_events, now));
                 }
@@ -197,7 +257,6 @@ impl NeighborhoodTable {
                 break;
             }
         }
-        stale
     }
 
     /// Number of departed neighbors currently remembered (for tests).
@@ -245,6 +304,7 @@ impl NeighborhoodTable {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.departed.clear();
+        self.present.clear();
     }
 }
 
@@ -378,6 +438,36 @@ mod tests {
             bounded.collect_stale(SimTime::from_secs(i + 100), SimDuration::from_secs(5));
         }
         assert!(bounded.departed_len() <= 2);
+    }
+
+    #[test]
+    fn prune_stale_matches_collect_stale() {
+        let mut collected = NeighborhoodTable::with_departed_memory(2);
+        let mut pruned = NeighborhoodTable::with_departed_memory(2);
+        for table in [&mut collected, &mut pruned] {
+            table.upsert(ProcessId(1), subs(".a"), None, SimTime::from_secs(0));
+            table.upsert(ProcessId(2), subs(".a"), None, SimTime::from_secs(8));
+            table.record_known_event(ProcessId(1), eid(3), SimTime::from_secs(0));
+        }
+        let evicted = collected.collect_stale(SimTime::from_secs(10), SimDuration::from_secs(5));
+        let count = pruned.prune_stale(SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(evicted.len(), count);
+        assert_eq!(collected, pruned);
+        assert!(!pruned.contains(ProcessId(1)));
+        assert!(pruned.contains(ProcessId(2)));
+        assert_eq!(pruned.departed_len(), 1);
+    }
+
+    #[test]
+    fn contains_handles_sparse_ids_beyond_dense_bound() {
+        let mut table = NeighborhoodTable::new();
+        let sparse = ProcessId(u64::MAX - 7);
+        assert!(!table.contains(sparse));
+        table.upsert(sparse, subs(".a"), None, SimTime::ZERO);
+        assert!(table.contains(sparse));
+        let evicted = table.collect_stale(SimTime::from_secs(100), SimDuration::from_secs(5));
+        assert_eq!(evicted, vec![sparse]);
+        assert!(!table.contains(sparse));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!    entries periodically, and the bounded event table evicts victims chosen
 //!    by the validity/forward-count formula of Eq. 1.
 
-use crate::api::{Action, DisseminationProtocol, TimerKind};
+use crate::api::{Action, ActionBuf, DisseminationProtocol, TimerKind};
 use crate::config::ProtocolConfig;
 use crate::delays::{compute_bo_delay, compute_hb_delay, compute_ngc_delay};
 use crate::event_table::EventTable;
@@ -26,7 +26,6 @@ use crate::metrics::ProtocolMetrics;
 use crate::neighborhood::NeighborhoodTable;
 use pubsub::{Event, EventId, ProcessId, SubscriptionSet, Topic};
 use simkit::{SimDuration, SimTime};
-use std::collections::BTreeSet;
 
 /// The paper's frugal topic-based dissemination protocol.
 #[derive(Debug)]
@@ -52,6 +51,9 @@ pub struct FrugalProtocol {
     current_speed: Option<f64>,
     next_sequence: u64,
     metrics: ProtocolMetrics,
+    /// Reusable scratch for the `RETRIEVEEVENTSTOSEND` id set; always left
+    /// empty between callbacks so it never affects observable state.
+    needed_scratch: Vec<EventId>,
 }
 
 impl FrugalProtocol {
@@ -88,6 +90,7 @@ impl FrugalProtocol {
             current_speed: None,
             next_sequence: 0,
             metrics: ProtocolMetrics::new(),
+            needed_scratch: Vec::new(),
         }
     }
 
@@ -126,9 +129,9 @@ impl FrugalProtocol {
     // ------------------------------------------------------------------
 
     /// Broadcasts `message`, doing the send-side metric accounting.
-    fn broadcast(&mut self, message: Message, actions: &mut Vec<Action>) {
+    fn broadcast(&mut self, message: Message, out: &mut ActionBuf) {
         self.metrics.record_send(message.event_count() as u64);
-        actions.push(Action::Broadcast(message));
+        out.push(Action::Broadcast(message));
     }
 
     fn heartbeat_message(&self) -> Message {
@@ -151,7 +154,7 @@ impl FrugalProtocol {
         if subs.shares_interest_with(&self.subscriptions) {
             return true;
         }
-        !self.event_table.ids_of_interest(subs, now).is_empty()
+        self.event_table.any_of_interest(subs, now)
     }
 
     /// Recomputes the adaptive delays from the neighborhood's average speed
@@ -163,11 +166,13 @@ impl FrugalProtocol {
         self.ngc_delay = compute_ngc_delay(&self.config, self.hb_delay);
     }
 
-    /// The paper's `RETRIEVEEVENTSTOSEND`: the identifiers of the still-valid
-    /// stored events that some neighbor is subscribed to but not yet known to
-    /// hold.
-    fn events_needed_by_neighbors(&self, now: SimTime) -> Vec<EventId> {
-        let mut needed = BTreeSet::new();
+    /// The paper's `RETRIEVEEVENTSTOSEND`: fills `needed` with the identifiers
+    /// of the still-valid stored events that some neighbor is subscribed to
+    /// but not yet known to hold. The ids come out sorted and deduplicated —
+    /// the same order the historical `BTreeSet` implementation produced —
+    /// without allocating once `needed`'s capacity has warmed up.
+    fn events_needed_by_neighbors(&self, now: SimTime, needed: &mut Vec<EventId>) {
+        needed.clear();
         for (_, entry) in self.neighborhood.iter() {
             for stored in self.event_table.iter() {
                 let event = &stored.event;
@@ -175,29 +180,34 @@ impl FrugalProtocol {
                     && entry.subscriptions.matches(&event.topic)
                     && !entry.known_events.contains(&event.id)
                 {
-                    needed.insert(event.id);
+                    needed.push(event.id);
                 }
             }
         }
-        needed.into_iter().collect()
+        needed.sort_unstable();
+        needed.dedup();
     }
 
     /// Arms the back-off if there is something to send and no back-off is
     /// already pending (second half of `RETRIEVEEVENTSTOSEND`).
-    fn schedule_backoff_if_needed(&mut self, now: SimTime, actions: &mut Vec<Action>) {
-        let pending = self.events_needed_by_neighbors(now);
-        if pending.is_empty() {
+    fn schedule_backoff_if_needed(&mut self, now: SimTime, out: &mut ActionBuf) {
+        let mut pending = std::mem::take(&mut self.needed_scratch);
+        self.events_needed_by_neighbors(now, &mut pending);
+        let pending_len = pending.len();
+        pending.clear();
+        self.needed_scratch = pending;
+        if pending_len == 0 {
             return;
         }
         let already_armed = self.bo_delay.is_some();
-        let computed = compute_bo_delay(&self.config, self.hb_delay, pending.len(), self.bo_delay);
+        let computed = compute_bo_delay(&self.config, self.hb_delay, pending_len, self.bo_delay);
         if !already_armed {
             if let Some(delay) = computed {
                 // Stretch by the per-process factor so contenders that computed
                 // the same delay do not all answer in the same slot.
                 let delay = delay.mul_f64(self.bo_jitter);
                 self.bo_delay = Some(delay);
-                actions.push(Action::SetTimer {
+                out.push(Action::SetTimer {
                     kind: TimerKind::BackOff,
                     after: delay,
                 });
@@ -207,26 +217,27 @@ impl FrugalProtocol {
         }
     }
 
-    fn on_backoff_expired(&mut self, now: SimTime) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_backoff_expired(&mut self, now: SimTime, out: &mut ActionBuf) {
         self.bo_delay = None;
         // Recompute: the neighborhood may have changed during the back-off, and
         // some events may have expired or been overheard in the meantime.
-        let ids = self.events_needed_by_neighbors(now);
+        let mut ids = std::mem::take(&mut self.needed_scratch);
+        self.events_needed_by_neighbors(now, &mut ids);
         if ids.is_empty() {
-            return actions;
+            self.needed_scratch = ids;
+            return;
         }
-        let events: Vec<Event> = ids
-            .iter()
-            .filter_map(|id| self.event_table.get(id).map(|s| s.event.clone()))
-            .collect();
-        let recipients = self.neighborhood.ids();
-        let message = Message::Events {
-            from: self.id,
-            events: events.clone(),
-            recipients: recipients.clone(),
-        };
-        self.broadcast(message, &mut actions);
+        let mut events = out.events_vec();
+        events.extend(
+            ids.iter()
+                .filter_map(|id| self.event_table.get(id).map(|s| s.event.clone())),
+        );
+        ids.clear();
+        self.needed_scratch = ids;
+        let mut recipients = out.recipients_vec();
+        self.neighborhood.ids_into(&mut recipients);
+        // Bookkeeping first (the vectors move into the message below); the
+        // relative order of metric and table updates is unobservable.
         for event in &events {
             for &neighbor in &recipients {
                 self.neighborhood
@@ -234,7 +245,12 @@ impl FrugalProtocol {
             }
             self.event_table.increment_forward_count(&event.id);
         }
-        actions
+        let message = Message::Events {
+            from: self.id,
+            events,
+            recipients,
+        };
+        self.broadcast(message, out);
     }
 
     fn on_heartbeat_received(
@@ -243,10 +259,10 @@ impl FrugalProtocol {
         subscriptions: &SubscriptionSet,
         speed: Option<f64>,
         now: SimTime,
-    ) -> Vec<Action> {
-        let mut actions = Vec::new();
+        out: &mut ActionBuf,
+    ) {
         if from == self.id {
-            return actions;
+            return;
         }
         if self.neighbor_is_relevant(subscriptions, now) {
             let is_new = self
@@ -255,13 +271,14 @@ impl FrugalProtocol {
             if is_new {
                 // New-neighbor event: announce which of our events could
                 // interest it, so it can tell us (and others) what it misses.
-                let ids = self.event_table.ids_of_interest(subscriptions, now);
+                let mut ids = out.ids_vec();
+                self.event_table
+                    .ids_of_interest_into(subscriptions, now, &mut ids);
                 let message = Message::EventIds { from: self.id, ids };
-                self.broadcast(message, &mut actions);
+                self.broadcast(message, out);
             }
         }
         self.recompute_delays();
-        actions
     }
 
     fn on_event_ids_received(
@@ -269,20 +286,19 @@ impl FrugalProtocol {
         from: ProcessId,
         ids: &[EventId],
         now: SimTime,
-    ) -> Vec<Action> {
-        let mut actions = Vec::new();
+        out: &mut ActionBuf,
+    ) {
         if !self.neighborhood.contains(from) {
             // We have not heard this process's heartbeat yet; park what it
             // announced so it is not mistaken for empty-handed once we do.
             self.neighborhood
                 .remember_unknown(from, ids.iter().copied(), now);
-            return actions;
+            return;
         }
         for id in ids {
             self.neighborhood.record_known_event(from, *id, now);
         }
-        self.schedule_backoff_if_needed(now, &mut actions);
-        actions
+        self.schedule_backoff_if_needed(now, out);
     }
 
     fn on_events_received(
@@ -291,8 +307,8 @@ impl FrugalProtocol {
         events: &[Event],
         recipients: &[ProcessId],
         now: SimTime,
-    ) -> Vec<Action> {
-        let mut actions = Vec::new();
+        out: &mut ActionBuf,
+    ) {
         let mut interested = false;
         for event in events {
             // Everyone listed as a recipient — and the sender itself — now
@@ -308,12 +324,12 @@ impl FrugalProtocol {
                 if !self.event_table.contains(&event.id) && event.is_valid_at(now) {
                     interested = true;
                     if self.bo_delay.take().is_some() {
-                        actions.push(Action::CancelTimer(TimerKind::BackOff));
+                        out.push(Action::CancelTimer(TimerKind::BackOff));
                     }
                     if self.event_table.insert(event.clone(), now).is_ok()
                         && self.metrics.record_delivery(event.id, now)
                     {
-                        actions.push(Action::Deliver(event.clone()));
+                        out.push(Action::Deliver(event.clone()));
                     }
                 } else {
                     self.metrics.record_duplicate();
@@ -324,9 +340,8 @@ impl FrugalProtocol {
             }
         }
         if interested {
-            self.schedule_backoff_if_needed(now, &mut actions);
+            self.schedule_backoff_if_needed(now, out);
         }
-        actions
     }
 }
 
@@ -343,42 +358,38 @@ impl DisseminationProtocol for FrugalProtocol {
         &self.subscriptions
     }
 
-    fn subscribe(&mut self, topic: Topic, _now: SimTime) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn subscribe(&mut self, topic: Topic, _now: SimTime, out: &mut ActionBuf) {
         self.subscriptions.subscribe(topic);
         if !self.heartbeat_running {
             self.heartbeat_running = true;
             let hb = self.heartbeat_message();
-            self.broadcast(hb, &mut actions);
-            actions.push(Action::SetTimer {
+            self.broadcast(hb, out);
+            out.push(Action::SetTimer {
                 kind: TimerKind::Heartbeat,
                 after: self.hb_delay,
             });
         }
         if !self.ngc_running {
             self.ngc_running = true;
-            actions.push(Action::SetTimer {
+            out.push(Action::SetTimer {
                 kind: TimerKind::NeighborhoodGc,
                 after: self.ngc_delay,
             });
         }
-        actions
     }
 
-    fn unsubscribe(&mut self, topic: &Topic, _now: SimTime) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn unsubscribe(&mut self, topic: &Topic, _now: SimTime, out: &mut ActionBuf) {
         self.subscriptions.unsubscribe(topic);
         if self.subscriptions.is_empty() {
             if self.heartbeat_running {
                 self.heartbeat_running = false;
-                actions.push(Action::CancelTimer(TimerKind::Heartbeat));
+                out.push(Action::CancelTimer(TimerKind::Heartbeat));
             }
             if self.ngc_running {
                 self.ngc_running = false;
-                actions.push(Action::CancelTimer(TimerKind::NeighborhoodGc));
+                out.push(Action::CancelTimer(TimerKind::NeighborhoodGc));
             }
         }
-        actions
     }
 
     fn publish(
@@ -387,8 +398,8 @@ impl DisseminationProtocol for FrugalProtocol {
         validity: SimDuration,
         payload_bytes: usize,
         now: SimTime,
-    ) -> (EventId, Vec<Action>) {
-        let mut actions = Vec::new();
+        out: &mut ActionBuf,
+    ) -> EventId {
         let id = EventId::new(self.id, self.next_sequence);
         self.next_sequence += 1;
         let event = Event::new(id, topic.clone(), now, validity, payload_bytes);
@@ -396,16 +407,19 @@ impl DisseminationProtocol for FrugalProtocol {
 
         // Send right away if at least one known neighbor is interested.
         if self.neighborhood.someone_subscribed_to(&topic) {
-            let recipients = self.neighborhood.ids();
-            let message = Message::Events {
-                from: self.id,
-                events: vec![event.clone()],
-                recipients: recipients.clone(),
-            };
-            self.broadcast(message, &mut actions);
+            let mut events = out.events_vec();
+            events.push(event.clone());
+            let mut recipients = out.recipients_vec();
+            self.neighborhood.ids_into(&mut recipients);
             for &neighbor in &recipients {
                 self.neighborhood.record_known_event(neighbor, id, now);
             }
+            let message = Message::Events {
+                from: self.id,
+                events,
+                recipients,
+            };
+            self.broadcast(message, out);
         }
 
         // Store the event (evicting per Eq. 1 if full) and deliver it locally
@@ -414,65 +428,61 @@ impl DisseminationProtocol for FrugalProtocol {
             && self.subscriptions.matches(&topic)
             && self.metrics.record_delivery(id, now)
         {
-            actions.push(Action::Deliver(event));
+            out.push(Action::Deliver(event));
         }
 
         if !self.ngc_running {
             self.ngc_running = true;
-            actions.push(Action::SetTimer {
+            out.push(Action::SetTimer {
                 kind: TimerKind::NeighborhoodGc,
                 after: self.ngc_delay,
             });
         }
-        (id, actions)
+        id
     }
 
-    fn handle_message(&mut self, message: &Message, now: SimTime) -> Vec<Action> {
+    fn handle_message(&mut self, message: &Message, now: SimTime, out: &mut ActionBuf) {
         match message {
             Message::Heartbeat {
                 from,
                 subscriptions,
                 speed,
-            } => self.on_heartbeat_received(*from, subscriptions, *speed, now),
-            Message::EventIds { from, ids } => self.on_event_ids_received(*from, ids, now),
+            } => self.on_heartbeat_received(*from, subscriptions, *speed, now, out),
+            Message::EventIds { from, ids } => self.on_event_ids_received(*from, ids, now, out),
             Message::Events {
                 from,
                 events,
                 recipients,
-            } => self.on_events_received(*from, events, recipients, now),
+            } => self.on_events_received(*from, events, recipients, now, out),
         }
     }
 
-    fn handle_timer(&mut self, kind: TimerKind, now: SimTime) -> Vec<Action> {
+    fn handle_timer(&mut self, kind: TimerKind, now: SimTime, out: &mut ActionBuf) {
         match kind {
             TimerKind::Heartbeat => {
-                let mut actions = Vec::new();
                 if self.heartbeat_running {
                     let hb = self.heartbeat_message();
-                    self.broadcast(hb, &mut actions);
-                    actions.push(Action::SetTimer {
+                    self.broadcast(hb, out);
+                    out.push(Action::SetTimer {
                         kind: TimerKind::Heartbeat,
                         after: self.hb_delay,
                     });
                 }
-                actions
             }
             TimerKind::NeighborhoodGc => {
-                let mut actions = Vec::new();
                 if self.ngc_running {
-                    self.neighborhood.collect_stale(now, self.ngc_delay);
+                    self.neighborhood.prune_stale(now, self.ngc_delay);
                     // Housekeeping: expired events are of no use to anyone and
                     // can be dropped eagerly (they would never be forwarded).
-                    self.event_table.remove_expired(now);
-                    actions.push(Action::SetTimer {
+                    self.event_table.prune_expired(now);
+                    out.push(Action::SetTimer {
                         kind: TimerKind::NeighborhoodGc,
                         after: self.ngc_delay,
                     });
                 }
-                actions
             }
-            TimerKind::BackOff => self.on_backoff_expired(now),
-            TimerKind::FloodTick => Vec::new(),
+            TimerKind::BackOff => self.on_backoff_expired(now, out),
+            TimerKind::FloodTick => {}
         }
     }
 
@@ -506,6 +516,7 @@ impl DisseminationProtocol for FrugalProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::VecActions;
 
     fn topic(s: &str) -> Topic {
         s.parse().unwrap()
@@ -534,7 +545,7 @@ mod tests {
         for action in actions {
             if let Action::Broadcast(message) = action {
                 for receiver in receivers.iter_mut() {
-                    produced.extend(receiver.handle_message(message, now));
+                    produced.extend(receiver.handle_message_vec(message, now));
                 }
             }
         }
@@ -552,7 +563,7 @@ mod tests {
     #[test]
     fn subscribe_starts_heartbeat_and_gc_once() {
         let mut p = proto(1);
-        let actions = p.subscribe(topic(".T0"), t(0));
+        let actions = p.subscribe_vec(topic(".T0"), t(0));
         assert!(broadcasts(&actions)
             .iter()
             .any(|m| matches!(m, Message::Heartbeat { .. })));
@@ -562,7 +573,7 @@ mod tests {
             .collect();
         assert_eq!(set_timers.len(), 2, "heartbeat + neighborhood GC timers");
         // Subscribing again must not restart the tasks.
-        let again = p.subscribe(topic(".T1"), t(1));
+        let again = p.subscribe_vec(topic(".T1"), t(1));
         assert!(again.is_empty());
         assert_eq!(p.subscriptions().len(), 2);
     }
@@ -570,14 +581,14 @@ mod tests {
     #[test]
     fn unsubscribing_everything_stops_the_tasks() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
-        p.subscribe(topic(".T1"), t(0));
-        let partial = p.unsubscribe(&topic(".T0"), t(1));
+        p.subscribe_vec(topic(".T0"), t(0));
+        p.subscribe_vec(topic(".T1"), t(0));
+        let partial = p.unsubscribe_vec(&topic(".T0"), t(1));
         assert!(
             partial.is_empty(),
             "tasks keep running while subscriptions remain"
         );
-        let full = p.unsubscribe(&topic(".T1"), t(2));
+        let full = p.unsubscribe_vec(&topic(".T1"), t(2));
         assert!(full.contains(&Action::CancelTimer(TimerKind::Heartbeat)));
         assert!(full.contains(&Action::CancelTimer(TimerKind::NeighborhoodGc)));
     }
@@ -585,8 +596,8 @@ mod tests {
     #[test]
     fn heartbeat_timer_rearms_and_rebroadcasts() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
-        let actions = p.handle_timer(TimerKind::Heartbeat, t(1));
+        p.subscribe_vec(topic(".T0"), t(0));
+        let actions = p.handle_timer_vec(TimerKind::Heartbeat, t(1));
         assert_eq!(broadcasts(&actions).len(), 1);
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -596,20 +607,20 @@ mod tests {
             }
         )));
         // After unsubscribing, a stray timer expiration is a no-op.
-        p.unsubscribe(&topic(".T0"), t(2));
-        assert!(p.handle_timer(TimerKind::Heartbeat, t(3)).is_empty());
+        p.unsubscribe_vec(&topic(".T0"), t(2));
+        assert!(p.handle_timer_vec(TimerKind::Heartbeat, t(3)).is_empty());
     }
 
     #[test]
     fn irrelevant_heartbeats_are_not_stored() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
         let unrelated = Message::Heartbeat {
             from: ProcessId(2),
             subscriptions: SubscriptionSet::single(topic(".music")),
             speed: None,
         };
-        let actions = p.handle_message(&unrelated, t(1));
+        let actions = p.handle_message_vec(&unrelated, t(1));
         assert!(actions.is_empty());
         assert!(p.neighborhood().is_empty());
     }
@@ -617,15 +628,15 @@ mod tests {
     #[test]
     fn new_neighbor_triggers_event_id_exchange() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0.T1"), t(0));
+        p.subscribe_vec(topic(".T0.T1"), t(0));
         // p already has an event of interest to the newcomer.
-        p.publish(topic(".T0.T1"), SimDuration::from_secs(120), 400, t(1));
+        p.publish_vec(topic(".T0.T1"), SimDuration::from_secs(120), 400, t(1));
         let hb = Message::Heartbeat {
             from: ProcessId(2),
             subscriptions: SubscriptionSet::single(topic(".T0")),
             speed: Some(3.0),
         };
-        let actions = p.handle_message(&hb, t(2));
+        let actions = p.handle_message_vec(&hb, t(2));
         let sent = broadcasts(&actions);
         assert_eq!(sent.len(), 1);
         match sent[0] {
@@ -640,7 +651,7 @@ mod tests {
             other => panic!("expected an EventIds message, got {other:?}"),
         }
         // A refresh heartbeat from the same neighbor does not re-announce.
-        let again = p.handle_message(&hb, t(3));
+        let again = p.handle_message_vec(&hb, t(3));
         assert!(broadcasts(&again).is_empty());
         assert_eq!(p.neighborhood().len(), 1);
     }
@@ -648,21 +659,21 @@ mod tests {
     #[test]
     fn event_ids_from_needy_neighbor_arm_a_backoff() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
-        p.publish(topic(".T0.T1"), SimDuration::from_secs(120), 400, t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
+        p.publish_vec(topic(".T0.T1"), SimDuration::from_secs(120), 400, t(0));
         // Neighbor 2 appears, subscribed to .T0: it needs our event.
         let hb = Message::Heartbeat {
             from: ProcessId(2),
             subscriptions: SubscriptionSet::single(topic(".T0")),
             speed: None,
         };
-        p.handle_message(&hb, t(1));
+        p.handle_message_vec(&hb, t(1));
         // It announces an empty event list — it has nothing.
         let ids = Message::EventIds {
             from: ProcessId(2),
             ids: vec![],
         };
-        let actions = p.handle_message(&ids, t(1));
+        let actions = p.handle_message_vec(&ids, t(1));
         assert!(p.backoff_pending());
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -672,7 +683,7 @@ mod tests {
             }
         )));
         // When the back-off expires the event is broadcast with the recipients list.
-        let fired = p.handle_timer(TimerKind::BackOff, t(2));
+        let fired = p.handle_timer_vec(TimerKind::BackOff, t(2));
         let sent = broadcasts(&fired);
         assert_eq!(sent.len(), 1);
         match sent[0] {
@@ -691,7 +702,7 @@ mod tests {
             "the forwarded copy is the only event on the air"
         );
         // The neighbor is now known to hold the event: no further back-off.
-        let again = p.handle_message(&ids, t(3));
+        let again = p.handle_message_vec(&ids, t(3));
         assert!(again.is_empty());
         assert!(!p.backoff_pending());
     }
@@ -699,19 +710,19 @@ mod tests {
     #[test]
     fn neighbor_already_holding_the_event_is_not_served() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
-        let (event_id, _) = p.publish(topic(".T0.T1"), SimDuration::from_secs(120), 400, t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
+        let (event_id, _) = p.publish_vec(topic(".T0.T1"), SimDuration::from_secs(120), 400, t(0));
         let hb = Message::Heartbeat {
             from: ProcessId(2),
             subscriptions: SubscriptionSet::single(topic(".T0")),
             speed: None,
         };
-        p.handle_message(&hb, t(1));
+        p.handle_message_vec(&hb, t(1));
         let ids = Message::EventIds {
             from: ProcessId(2),
             ids: vec![event_id],
         };
-        p.handle_message(&ids, t(1));
+        p.handle_message_vec(&ids, t(1));
         assert!(
             !p.backoff_pending(),
             "nothing to send: the neighbor has the event already"
@@ -721,7 +732,7 @@ mod tests {
     #[test]
     fn receiving_a_subscribed_event_delivers_and_stores_it() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
         let event = Event::new(
             EventId::new(ProcessId(9), 0),
             topic(".T0.T1"),
@@ -734,13 +745,13 @@ mod tests {
             events: vec![event.clone()],
             recipients: vec![ProcessId(1)],
         };
-        let actions = p.handle_message(&msg, t(1));
+        let actions = p.handle_message_vec(&msg, t(1));
         assert_eq!(deliveries(&actions), vec![&event]);
         assert!(p.event_table().contains(&event.id));
         assert!(p.has_delivered(&event.id));
         assert_eq!(p.metrics().events_delivered, 1);
         // A second copy is dropped as a duplicate and not redelivered.
-        let again = p.handle_message(&msg, t(2));
+        let again = p.handle_message_vec(&msg, t(2));
         assert!(deliveries(&again).is_empty());
         assert_eq!(p.metrics().duplicates_received, 1);
     }
@@ -748,7 +759,7 @@ mod tests {
     #[test]
     fn parasite_events_are_dropped_without_storing() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0.T1"), t(0));
+        p.subscribe_vec(topic(".T0.T1"), t(0));
         let parasite = Event::new(
             EventId::new(ProcessId(9), 0),
             topic(".weather"),
@@ -761,7 +772,7 @@ mod tests {
             events: vec![parasite.clone()],
             recipients: vec![],
         };
-        let actions = p.handle_message(&msg, t(1));
+        let actions = p.handle_message_vec(&msg, t(1));
         assert!(deliveries(&actions).is_empty());
         assert!(!p.event_table().contains(&parasite.id));
         assert_eq!(p.metrics().parasites_received, 1);
@@ -771,7 +782,7 @@ mod tests {
     #[test]
     fn expired_events_are_not_delivered() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
         let stale = Event::new(
             EventId::new(ProcessId(9), 0),
             topic(".T0"),
@@ -784,7 +795,7 @@ mod tests {
             events: vec![stale],
             recipients: vec![],
         };
-        let actions = p.handle_message(&msg, t(60));
+        let actions = p.handle_message_vec(&msg, t(60));
         assert!(deliveries(&actions).is_empty());
         assert_eq!(p.metrics().events_delivered, 0);
     }
@@ -792,16 +803,16 @@ mod tests {
     #[test]
     fn overhearing_a_bundle_cancels_a_pending_backoff() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
-        p.publish(topic(".T0.a"), SimDuration::from_secs(300), 400, t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
+        p.publish_vec(topic(".T0.a"), SimDuration::from_secs(300), 400, t(0));
         // Neighbor 2 needs our event: back-off armed.
         let hb = Message::Heartbeat {
             from: ProcessId(2),
             subscriptions: SubscriptionSet::single(topic(".T0")),
             speed: None,
         };
-        p.handle_message(&hb, t(1));
-        p.handle_message(
+        p.handle_message_vec(&hb, t(1));
+        p.handle_message_vec(
             &Message::EventIds {
                 from: ProcessId(2),
                 ids: vec![],
@@ -823,7 +834,7 @@ mod tests {
             events: vec![other_event],
             recipients: vec![ProcessId(1), ProcessId(2)],
         };
-        let actions = p.handle_message(&msg, t(2));
+        let actions = p.handle_message_vec(&msg, t(2));
         assert!(actions.contains(&Action::CancelTimer(TimerKind::BackOff)));
         // The back-off is re-armed because neighbor 2 still misses our original event.
         assert!(p.backoff_pending());
@@ -839,14 +850,14 @@ mod tests {
     #[test]
     fn publish_broadcasts_immediately_when_a_neighbor_is_interested() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
         let hb = Message::Heartbeat {
             from: ProcessId(2),
             subscriptions: SubscriptionSet::single(topic(".T0")),
             speed: None,
         };
-        p.handle_message(&hb, t(1));
-        let (id, actions) = p.publish(topic(".T0.news"), SimDuration::from_secs(60), 400, t(2));
+        p.handle_message_vec(&hb, t(1));
+        let (id, actions) = p.publish_vec(topic(".T0.news"), SimDuration::from_secs(60), 400, t(2));
         let sent = broadcasts(&actions);
         assert_eq!(sent.len(), 1);
         assert!(matches!(sent[0], Message::Events { .. }));
@@ -858,8 +869,8 @@ mod tests {
     #[test]
     fn publish_without_interested_neighbors_stays_silent() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
-        let (_, actions) = p.publish(topic(".T0.news"), SimDuration::from_secs(60), 400, t(1));
+        p.subscribe_vec(topic(".T0"), t(0));
+        let (_, actions) = p.publish_vec(topic(".T0.news"), SimDuration::from_secs(60), 400, t(1));
         assert!(
             broadcasts(&actions).is_empty(),
             "no neighbor, nothing on the air"
@@ -873,8 +884,8 @@ mod tests {
         // still learn about interested neighbors and hand its event over.
         let mut publisher = proto(1);
         let mut subscriber = proto(2);
-        let sub_actions = subscriber.subscribe(topic(".parking"), t(0));
-        let (event_id, _) = publisher.publish(
+        let sub_actions = subscriber.subscribe_vec(topic(".parking"), t(0));
+        let (event_id, _) = publisher.publish_vec(
             topic(".parking.lot42"),
             SimDuration::from_secs(300),
             400,
@@ -894,7 +905,7 @@ mod tests {
             subscriptions: SubscriptionSet::new(),
             speed: None,
         };
-        let sub_reaction = subscriber.handle_message(&pub_hb, t(1));
+        let sub_reaction = subscriber.handle_message_vec(&pub_hb, t(1));
         // Subscriber does not track a neighbor with no overlapping interest and
         // no events — but the publisher *does* need the subscriber's ids to know
         // it misses the event; they arrive via the subscriber's own id announce
@@ -904,7 +915,7 @@ mod tests {
             from: ProcessId(2),
             ids: vec![],
         };
-        let actions = publisher.handle_message(&ids_msg, t(2));
+        let actions = publisher.handle_message_vec(&ids_msg, t(2));
         assert!(actions.iter().any(|a| matches!(
             a,
             Action::SetTimer {
@@ -912,7 +923,7 @@ mod tests {
                 ..
             }
         )));
-        let fired = publisher.handle_timer(TimerKind::BackOff, t(3));
+        let fired = publisher.handle_timer_vec(TimerKind::BackOff, t(3));
         let produced = deliver_broadcasts(&fired, &mut [&mut subscriber], t(3));
         assert!(subscriber.has_delivered(&event_id));
         assert!(!produced.is_empty() || subscriber.metrics().events_delivered == 1);
@@ -926,15 +937,15 @@ mod tests {
         let mut p1 = proto(1);
         let mut p2 = proto(2);
         let mut p3 = proto(3);
-        p1.subscribe(topic(".T0.T1"), t(0));
-        p2.subscribe(topic(".T0.T1.T2"), t(0));
-        let (e3, _) = p1.publish(topic(".T0.T1"), SimDuration::from_secs(600), 400, t(0));
-        let (e4, _) = p2.publish(topic(".T0.T1.T2"), SimDuration::from_secs(600), 400, t(0));
-        let (e5, _) = p2.publish(topic(".T0.T1.T2"), SimDuration::from_secs(600), 400, t(0));
+        p1.subscribe_vec(topic(".T0.T1"), t(0));
+        p2.subscribe_vec(topic(".T0.T1.T2"), t(0));
+        let (e3, _) = p1.publish_vec(topic(".T0.T1"), SimDuration::from_secs(600), 400, t(0));
+        let (e4, _) = p2.publish_vec(topic(".T0.T1.T2"), SimDuration::from_secs(600), 400, t(0));
+        let (e5, _) = p2.publish_vec(topic(".T0.T1.T2"), SimDuration::from_secs(600), 400, t(0));
 
         // Part I: p1 and p2 become neighbors (exchange heartbeats, then ids).
-        let hb1 = p1.handle_timer(TimerKind::Heartbeat, t(1));
-        let hb2 = p2.handle_timer(TimerKind::Heartbeat, t(1));
+        let hb1 = p1.handle_timer_vec(TimerKind::Heartbeat, t(1));
+        let hb2 = p2.handle_timer_vec(TimerKind::Heartbeat, t(1));
         let p2_ids = deliver_broadcasts(&hb1, &mut [&mut p2], t(1));
         let p1_ids = deliver_broadcasts(&hb2, &mut [&mut p1], t(1));
         deliver_broadcasts(&p2_ids, &mut [&mut p1], t(1));
@@ -945,20 +956,20 @@ mod tests {
             "p2 must schedule sending e4, e5 to p1"
         );
         assert!(!p1.backoff_pending(), "p1 has nothing p2 wants");
-        let p2_send = p2.handle_timer(TimerKind::BackOff, t(2));
+        let p2_send = p2.handle_timer_vec(TimerKind::BackOff, t(2));
         deliver_broadcasts(&p2_send, &mut [&mut p1], t(2));
         assert!(p1.has_delivered(&e4) && p1.has_delivered(&e5));
         assert!(!p2.has_delivered(&e3));
 
         // Part II: p3 joins; everyone hears everyone.
-        let hb3 = p3.subscribe(topic(".T0"), t(3));
+        let hb3 = p3.subscribe_vec(topic(".T0"), t(3));
         let reactions = deliver_broadcasts(&hb3, &mut [&mut p1, &mut p2], t(3));
         // p1/p2 answer with their event-id lists; p3 hears them, and so do p1/p2.
         deliver_broadcasts(&reactions, &mut [&mut p1, &mut p2, &mut p3], t(3));
         // p3 announces its own (empty) id list when its heartbeat timer fires and
         // the others' heartbeats arrive; emulate by exchanging heartbeats again.
-        let hb1 = p1.handle_timer(TimerKind::Heartbeat, t(3));
-        let hb2 = p2.handle_timer(TimerKind::Heartbeat, t(3));
+        let hb1 = p1.handle_timer_vec(TimerKind::Heartbeat, t(3));
+        let hb2 = p2.handle_timer_vec(TimerKind::Heartbeat, t(3));
         let p3_reaction = deliver_broadcasts(&[hb1, hb2].concat(), &mut [&mut p3], t(3));
         deliver_broadcasts(&p3_reaction, &mut [&mut p1, &mut p2], t(3));
         assert!(
@@ -967,13 +978,13 @@ mod tests {
         );
         // Both may have armed back-offs; p1 has 3 events to send, p2 has 2, so
         // p1's delay is shorter (checked in the delays module). Fire p1 first.
-        let p1_send = p1.handle_timer(TimerKind::BackOff, t(4));
+        let p1_send = p1.handle_timer_vec(TimerKind::BackOff, t(4));
         deliver_broadcasts(&p1_send, &mut [&mut p2, &mut p3], t(4));
         assert!(p3.has_delivered(&e3) && p3.has_delivered(&e4) && p3.has_delivered(&e5));
 
         // Part III: p2 overheard p1's bundle, so it knows p3 got everything and
         // sends nothing when its own back-off fires.
-        let p2_send = p2.handle_timer(TimerKind::BackOff, t(5));
+        let p2_send = p2.handle_timer_vec(TimerKind::BackOff, t(5));
         assert!(
             broadcasts(&p2_send).is_empty(),
             "p2 must not retransmit what p1 already delivered to p3"
@@ -988,9 +999,9 @@ mod tests {
         // neither can suppress the other's retransmission.
         let armed_delay = |id: u64| {
             let mut p = proto(id);
-            p.subscribe(topic(".T0"), t(0));
-            p.publish(topic(".T0.x"), SimDuration::from_secs(600), 400, t(0));
-            p.handle_message(
+            p.subscribe_vec(topic(".T0"), t(0));
+            p.publish_vec(topic(".T0.x"), SimDuration::from_secs(600), 400, t(0));
+            p.handle_message_vec(
                 &Message::Heartbeat {
                     from: ProcessId(99),
                     subscriptions: SubscriptionSet::single(topic(".T0")),
@@ -998,7 +1009,7 @@ mod tests {
                 },
                 t(1),
             );
-            let actions = p.handle_message(
+            let actions = p.handle_message_vec(
                 &Message::EventIds {
                     from: ProcessId(99),
                     ids: vec![],
@@ -1036,12 +1047,12 @@ mod tests {
             let mut cfg = config();
             cfg.bo_jitter_fraction = 0.0;
             let mut p = FrugalProtocol::new(ProcessId(id), cfg);
-            p.subscribe(topic(".T0"), t(0));
+            p.subscribe_vec(topic(".T0"), t(0));
             for _ in 0..events {
-                p.publish(topic(".T0.x"), SimDuration::from_secs(600), 400, t(0));
+                p.publish_vec(topic(".T0.x"), SimDuration::from_secs(600), 400, t(0));
             }
             // A needy neighbor appears and announces it has nothing.
-            p.handle_message(
+            p.handle_message_vec(
                 &Message::Heartbeat {
                     from: ProcessId(99),
                     subscriptions: SubscriptionSet::single(topic(".T0")),
@@ -1049,7 +1060,7 @@ mod tests {
                 },
                 t(1),
             );
-            let actions = p.handle_message(
+            let actions = p.handle_message_vec(
                 &Message::EventIds {
                     from: ProcessId(99),
                     ids: vec![],
@@ -1078,8 +1089,8 @@ mod tests {
     #[test]
     fn neighborhood_gc_timer_evicts_stale_neighbors() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
-        p.handle_message(
+        p.subscribe_vec(topic(".T0"), t(0));
+        p.handle_message_vec(
             &Message::Heartbeat {
                 from: ProcessId(2),
                 subscriptions: SubscriptionSet::single(topic(".T0")),
@@ -1089,7 +1100,7 @@ mod tests {
         );
         assert_eq!(p.neighborhood().len(), 1);
         // Long after the NGC delay, the GC timer fires and evicts the silent neighbor.
-        let actions = p.handle_timer(TimerKind::NeighborhoodGc, t(60));
+        let actions = p.handle_timer_vec(TimerKind::NeighborhoodGc, t(60));
         assert!(p.neighborhood().is_empty());
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -1105,9 +1116,9 @@ mod tests {
         let mut cfg = config();
         cfg.hb_upper_bound = SimDuration::from_secs(60);
         let mut p = FrugalProtocol::new(ProcessId(1), cfg);
-        p.subscribe(topic(".T0"), t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
         let before = p.heartbeat_delay();
-        p.handle_message(
+        p.handle_message_vec(
             &Message::Heartbeat {
                 from: ProcessId(2),
                 subscriptions: SubscriptionSet::single(topic(".T0")),
@@ -1124,9 +1135,9 @@ mod tests {
     #[test]
     fn update_speed_is_advertised_in_heartbeats() {
         let mut p = proto(1);
-        p.subscribe(topic(".T0"), t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
         p.update_speed(Some(12.5));
-        let actions = p.handle_timer(TimerKind::Heartbeat, t(1));
+        let actions = p.handle_timer_vec(TimerKind::Heartbeat, t(1));
         match broadcasts(&actions)[0] {
             Message::Heartbeat { speed, .. } => assert_eq!(*speed, Some(12.5)),
             other => panic!("expected a heartbeat, got {other:?}"),
@@ -1138,7 +1149,7 @@ mod tests {
         let mut cfg = config();
         cfg.event_table_capacity = 4;
         let mut p = FrugalProtocol::new(ProcessId(1), cfg);
-        p.subscribe(topic(".T0"), t(0));
+        p.subscribe_vec(topic(".T0"), t(0));
         for seq in 0..20u64 {
             let event = Event::new(
                 EventId::new(ProcessId(9), seq),
@@ -1147,7 +1158,7 @@ mod tests {
                 SimDuration::from_secs(300),
                 400,
             );
-            p.handle_message(
+            p.handle_message_vec(
                 &Message::Events {
                     from: ProcessId(9),
                     events: vec![event],
@@ -1168,10 +1179,10 @@ mod tests {
     /// observable: the actions it produces and its final metrics.
     fn scripted_run(p: &mut FrugalProtocol) -> (Vec<Vec<Action>>, ProtocolMetrics) {
         let produced = vec![
-            p.subscribe(topic(".T0"), t(0)),
-            p.publish(topic(".T0.x"), SimDuration::from_secs(120), 400, t(1))
+            p.subscribe_vec(topic(".T0"), t(0)),
+            p.publish_vec(topic(".T0.x"), SimDuration::from_secs(120), 400, t(1))
                 .1,
-            p.handle_message(
+            p.handle_message_vec(
                 &Message::Heartbeat {
                     from: ProcessId(9),
                     subscriptions: SubscriptionSet::single(topic(".T0")),
@@ -1179,16 +1190,16 @@ mod tests {
                 },
                 t(2),
             ),
-            p.handle_message(
+            p.handle_message_vec(
                 &Message::EventIds {
                     from: ProcessId(9),
                     ids: vec![],
                 },
                 t(2),
             ),
-            p.handle_timer(TimerKind::BackOff, t(3)),
-            p.handle_timer(TimerKind::Heartbeat, t(4)),
-            p.handle_timer(TimerKind::NeighborhoodGc, t(60)),
+            p.handle_timer_vec(TimerKind::BackOff, t(3)),
+            p.handle_timer_vec(TimerKind::Heartbeat, t(4)),
+            p.handle_timer_vec(TimerKind::NeighborhoodGc, t(60)),
         ];
         (produced, p.metrics().clone())
     }

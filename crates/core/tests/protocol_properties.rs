@@ -12,7 +12,7 @@
 
 use frugal::{
     Action, DisseminationProtocol, FloodingPolicy, FloodingProtocol, FrugalProtocol, Message,
-    ProtocolConfig, TimerKind,
+    ProtocolConfig, TimerKind, VecActions,
 };
 use proptest::prelude::*;
 use pubsub::{Event, EventId, ProcessId, SubscriptionSet, Topic};
@@ -68,24 +68,64 @@ fn timer_for(index: u8) -> TimerKind {
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
+    // Every arm maps through `prop_map_invertible` so the shim can shrink a
+    // failing script inside the constructor's source domain instead of only
+    // re-sampling whole steps.
     prop_oneof![
-        (0u8..5).prop_map(Step::Subscribe),
-        (0u8..5).prop_map(Step::Unsubscribe),
-        (0u8..5, 1u8..120).prop_map(|(topic, validity_secs)| Step::Publish {
-            topic,
-            validity_secs
+        (0u8..5).prop_map_invertible(Step::Subscribe, |step| match step {
+            Step::Subscribe(t) => *t,
+            _ => unreachable!("inverse called on a foreign variant"),
         }),
-        (1u8..8, 0u8..5, proptest::option::of(0u8..40))
-            .prop_map(|(from, topic, speed)| Step::Heartbeat { from, topic, speed }),
-        (1u8..8, proptest::collection::vec((1u8..8, 0u8..20), 0..6))
-            .prop_map(|(from, ids)| Step::EventIds { from, ids }),
+        (0u8..5).prop_map_invertible(Step::Unsubscribe, |step| match step {
+            Step::Unsubscribe(t) => *t,
+            _ => unreachable!("inverse called on a foreign variant"),
+        }),
+        (0u8..5, 1u8..120).prop_map_invertible(
+            |(topic, validity_secs)| Step::Publish {
+                topic,
+                validity_secs
+            },
+            |step| match step {
+                Step::Publish {
+                    topic,
+                    validity_secs,
+                } => (*topic, *validity_secs),
+                _ => unreachable!("inverse called on a foreign variant"),
+            }
+        ),
+        (1u8..8, 0u8..5, proptest::option::of(0u8..40)).prop_map_invertible(
+            |(from, topic, speed)| Step::Heartbeat { from, topic, speed },
+            |step| match step {
+                Step::Heartbeat { from, topic, speed } => (*from, *topic, *speed),
+                _ => unreachable!("inverse called on a foreign variant"),
+            }
+        ),
+        (1u8..8, proptest::collection::vec((1u8..8, 0u8..20), 0..6)).prop_map_invertible(
+            |(from, ids)| Step::EventIds { from, ids },
+            |step| match step {
+                Step::EventIds { from, ids } => (*from, ids.clone()),
+                _ => unreachable!("inverse called on a foreign variant"),
+            }
+        ),
         (
             1u8..8,
             proptest::collection::vec((1u8..8, 0u8..20, 0u8..5, 1u8..120), 0..4)
         )
-            .prop_map(|(from, events)| Step::Events { from, events }),
-        (0u8..4).prop_map(Step::Timer),
-        (1u8..30).prop_map(Step::AdvanceTime),
+            .prop_map_invertible(
+                |(from, events)| Step::Events { from, events },
+                |step| match step {
+                    Step::Events { from, events } => (*from, events.clone()),
+                    _ => unreachable!("inverse called on a foreign variant"),
+                }
+            ),
+        (0u8..4).prop_map_invertible(Step::Timer, |step| match step {
+            Step::Timer(t) => *t,
+            _ => unreachable!("inverse called on a foreign variant"),
+        }),
+        (1u8..30).prop_map_invertible(Step::AdvanceTime, |step| match step {
+            Step::AdvanceTime(t) => *t,
+            _ => unreachable!("inverse called on a foreign variant"),
+        }),
     ]
 }
 
@@ -134,13 +174,13 @@ fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], ca
 
     for step in steps {
         let actions = match step {
-            Step::Subscribe(t) => protocol.subscribe(topic_for(*t), now),
-            Step::Unsubscribe(t) => protocol.unsubscribe(&topic_for(*t), now),
+            Step::Subscribe(t) => protocol.subscribe_vec(topic_for(*t), now),
+            Step::Unsubscribe(t) => protocol.unsubscribe_vec(&topic_for(*t), now),
             Step::Publish {
                 topic,
                 validity_secs,
             } => {
-                let (_, actions) = protocol.publish(
+                let (_, actions) = protocol.publish_vec(
                     topic_for(*topic),
                     SimDuration::from_secs(u64::from(*validity_secs)),
                     400,
@@ -148,7 +188,7 @@ fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], ca
                 );
                 actions
             }
-            Step::Heartbeat { from, topic, speed } => protocol.handle_message(
+            Step::Heartbeat { from, topic, speed } => protocol.handle_message_vec(
                 &Message::Heartbeat {
                     from: ProcessId(u64::from(*from)),
                     subscriptions: SubscriptionSet::single(topic_for(*topic)),
@@ -156,7 +196,7 @@ fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], ca
                 },
                 now,
             ),
-            Step::EventIds { from, ids } => protocol.handle_message(
+            Step::EventIds { from, ids } => protocol.handle_message_vec(
                 &Message::EventIds {
                     from: ProcessId(u64::from(*from)),
                     ids: ids
@@ -166,7 +206,7 @@ fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], ca
                 },
                 now,
             ),
-            Step::Events { from, events } => protocol.handle_message(
+            Step::Events { from, events } => protocol.handle_message_vec(
                 &Message::Events {
                     from: ProcessId(u64::from(*from)),
                     events: events
@@ -185,7 +225,7 @@ fn check_invariants(protocol: &mut dyn DisseminationProtocol, steps: &[Step], ca
                 },
                 now,
             ),
-            Step::Timer(kind) => protocol.handle_timer(timer_for(*kind), now),
+            Step::Timer(kind) => protocol.handle_timer_vec(timer_for(*kind), now),
             Step::AdvanceTime(secs) => {
                 now += SimDuration::from_secs(u64::from(*secs));
                 Vec::new()
@@ -242,7 +282,7 @@ proptest! {
         let mut protocol = FrugalProtocol::new(ProcessId(0), ProtocolConfig::paper_default());
         let now = SimTime::ZERO;
         if subscribe_first {
-            protocol.subscribe(topic_for(subscription_topic), now);
+            protocol.subscribe_vec(topic_for(subscription_topic), now);
         }
         let event = Event::new(
             EventId::new(ProcessId(1), 0),
@@ -251,7 +291,7 @@ proptest! {
             SimDuration::from_secs(60),
             400,
         );
-        let actions = protocol.handle_message(
+        let actions = protocol.handle_message_vec(
             &Message::Events { from: ProcessId(1), events: vec![event.clone()], recipients: vec![] },
             now,
         );

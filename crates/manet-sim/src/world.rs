@@ -31,12 +31,22 @@
 //! skipped exactly as the reference heap would have skipped it. The heap
 //! path survives as the doc-hidden [`World::set_heap_queue`], pinned
 //! bit-identical by the scheduler equivalence suite.
+//!
+//! Node state is laid out **structure-of-arrays**: the per-tick hot fields —
+//! wake times, last-advance times, timer slots, subscriber membership — live
+//! in parallel arrays owned by the world (positions live in the medium's
+//! spatial grid), indexed by the dense [`NodeId`]; only the cold boxed
+//! protocol and mobility state stays behind the per-node struct. Protocol
+//! callbacks append into one world-owned [`ActionBuf`] whose action vector
+//! and pooled message vectors cycle in place — together with the frame-slot
+//! free list this makes the steady-state event path allocation free (pinned
+//! by the `alloc_free_steady_state` integration test).
 
 use crate::report::{EventOutcome, NodeReport, RunReport};
 use crate::scenario::{MobilityKind, ProtocolKind, PublisherChoice, Scenario, ScenarioError};
 use frugal::{
-    Action, DisseminationProtocol, FloodingProtocol, FrugalProtocol, Message, ProtocolConfig,
-    ProtocolMetrics, TimerKind,
+    Action, ActionBuf, DisseminationProtocol, FloodingProtocol, FrugalProtocol, Message,
+    ProtocolConfig, ProtocolMetrics, TimerKind,
 };
 use mobility::{
     BoxedMobility, CitySection, CitySectionConfig, Point, RandomWaypoint, RandomWaypointConfig,
@@ -44,47 +54,47 @@ use mobility::{
 };
 use netsim::{RadioMedium, ReceptionOutcome, TrafficCounters, TxId};
 use pubsub::{EventId, ProcessId, Topic};
-use simkit::{EventHandle, EventQueue, IndexedMinQueue, SimDuration, SimRng, SimTime, TimerWheel};
+use simkit::{
+    BitSet, EventHandle, EventQueue, IndexedMinQueue, NodeId, SimDuration, SimRng, SimTime,
+    TimerWheel,
+};
 
-/// One simulated process: protocol + movement + private randomness.
+/// The cold half of one simulated process: protocol + movement + private
+/// randomness, all behind pointers. The per-tick hot fields (wake times,
+/// last-advance times, timer slots, subscriber membership) live in parallel
+/// arrays on [`World`] instead, so the event loop walks dense cache lines
+/// rather than hopping through these structs.
 #[derive(Debug)]
 struct SimNode {
     protocol: Box<dyn DisseminationProtocol>,
     mobility: BoxedMobility,
     rng: SimRng,
-    /// `true` if this node subscribes to the measured topic.
-    subscriber: bool,
-    /// Virtual time of this node's last mobility advance (dirty-tick
-    /// bookkeeping: skipped nodes are caught up from here).
-    last_advance: SimTime,
-    /// Earliest virtual time at which this node's movement state can change.
-    /// While the node is not moving, ticks strictly before `wake` are skipped
-    /// entirely — no advance, no grid update, no RNG draw.
-    wake: SimTime,
 }
 
 /// A broadcast waiting to go on (or currently on) the air.
 #[derive(Debug)]
 struct PendingFrame {
-    sender: usize,
+    sender: NodeId,
     message: Message,
 }
 
-/// Everything the event loop can be asked to do.
+/// Everything the event loop can be asked to do. Node and frame references
+/// are 32-bit ([`NodeId`] and a frame-slot index), keeping the scheduler's
+/// event payloads dense.
 #[derive(Debug)]
 enum WorldEvent {
     /// Advance every node's position by one mobility tick.
     MobilityTick,
     /// Node `node` subscribes to its assigned topic (staggered at start-up).
-    Subscribe { node: usize },
+    Subscribe { node: NodeId },
     /// A protocol timer of `node` expires.
-    Timer { node: usize, kind: TimerKind },
+    Timer { node: NodeId, kind: TimerKind },
     /// The MAC contention jitter of frame `frame` elapsed: put it on the air.
-    TxStart { frame: usize },
+    TxStart { frame: u32 },
     /// Frame `frame` (transmission `tx`) finished: resolve receptions.
-    TxEnd { frame: usize, tx: TxId },
+    TxEnd { frame: u32, tx: TxId },
     /// Execute scheduled publication number `index`.
-    Publish { index: usize },
+    Publish { index: u32 },
     /// The warm-up period ended: snapshot all counters.
     WarmupEnd,
 }
@@ -191,7 +201,20 @@ pub struct World {
     /// hashing — and the handle match is what validates eagerly drained
     /// batch entries against mid-batch cancellations.
     timer_slots: Vec<[Option<EventHandle>; TimerKind::COUNT]>,
+    /// Hot per-node state, structure-of-arrays (indexed by `NodeId::index`):
+    /// virtual time of each node's last mobility advance (dirty-tick
+    /// bookkeeping: skipped nodes are caught up from here).
+    last_advance: Vec<SimTime>,
+    /// Earliest virtual time at which each node's movement state can change.
+    /// While a node is not moving, ticks strictly before its wake time are
+    /// skipped entirely — no advance, no grid update, no RNG draw.
+    wake_times: Vec<SimTime>,
+    /// One bit per node: set if the node subscribes to the measured topic.
+    subscriber_bits: BitSet,
     frames: Vec<Option<PendingFrame>>,
+    /// Frame slots whose transmission completed, ready for reuse — the frame
+    /// slab stops growing once the network reaches steady state.
+    free_frames: Vec<u32>,
     /// Randomness of the shared medium (contention jitter, fringe loss).
     mac_rng: SimRng,
     published: Vec<PublishedRecord>,
@@ -220,9 +243,12 @@ pub struct World {
     /// Scratch: the indices popped as due this tick, sorted ascending so they
     /// are processed in exactly the order the reference scan visits them.
     wake_scratch: Vec<usize>,
-    /// Scratch: protocol callback results are drained through this single
-    /// buffer instead of a fresh vector per event.
-    action_scratch: Vec<Action>,
+    /// Scratch: every protocol callback appends into this one buffer; its
+    /// action vector and the pooled message vectors inside it cycle in place,
+    /// so the steady-state event path performs no allocation.
+    action_buf: ActionBuf,
+    /// Scratch: per-receiver outcomes of the transmission being completed.
+    outcome_scratch: Vec<(usize, ReceptionOutcome)>,
     /// Scratch: the current same-timestamp event batch, drained from the
     /// scheduler in one call and dispatched in FIFO order.
     batch_scratch: Vec<(EventHandle, WorldEvent)>,
@@ -254,7 +280,11 @@ impl World {
             nodes: Vec::new(),
             medium,
             timer_slots: Vec::new(),
+            last_advance: Vec::new(),
+            wake_times: Vec::new(),
+            subscriber_bits: BitSet::new(),
             frames: Vec::new(),
+            free_frames: Vec::new(),
             mac_rng: SimRng::seed_from(seed).derive(0xBEEF).derive(7),
             published: Vec::new(),
             warmup_metrics: None,
@@ -266,7 +296,8 @@ impl World {
             active: Vec::new(),
             active_scratch: Vec::new(),
             wake_scratch: Vec::new(),
-            action_scratch: Vec::new(),
+            action_buf: ActionBuf::new(),
+            outcome_scratch: Vec::new(),
             batch_scratch: Vec::new(),
             subscriber_cache: Vec::new(),
         };
@@ -296,6 +327,7 @@ impl World {
         // no dead handles (or unbounded sequence growth) across seeds.
         self.queue.clear();
         self.frames.clear();
+        self.free_frames.clear();
         self.published.clear();
         self.warmup_metrics = None;
         self.warmup_traffic = None;
@@ -394,9 +426,6 @@ impl World {
                 if !node.protocol.reset() {
                     node.protocol = Self::build_protocol(&self.scenario.protocol, index);
                 }
-                node.subscriber = subscriber_indices.contains(&index);
-                node.last_advance = SimTime::ZERO;
-                node.wake = SimTime::ZERO;
                 let position = node.mobility.position();
                 node.rng = node_rng;
                 self.medium.update_position(index, position);
@@ -409,12 +438,19 @@ impl World {
                     protocol,
                     mobility,
                     rng: node_rng,
-                    subscriber: subscriber_indices.contains(&index),
-                    last_advance: SimTime::ZERO,
-                    // Everyone is advanced at the first tick: it initializes
-                    // the protocol's speed and the per-node wake times.
-                    wake: SimTime::ZERO,
                 });
+            }
+        }
+        // Hot per-node state: everyone is advanced at the first tick (wake =
+        // ZERO); it initializes the protocol's speed and the wake times.
+        self.last_advance.clear();
+        self.last_advance.resize(n, SimTime::ZERO);
+        self.wake_times.clear();
+        self.wake_times.resize(n, SimTime::ZERO);
+        self.subscriber_bits.clear();
+        for index in 0..n {
+            if subscriber_indices.contains(&index) {
+                self.subscriber_bits.insert(index);
             }
         }
         // Every node is due at the first tick: it initializes the protocol's
@@ -438,8 +474,12 @@ impl World {
             .max(simkit::SimDuration::from_millis(200));
         for node in 0..n {
             let offset = self.mac_rng.jitter(stagger_window);
-            self.queue
-                .schedule(SimTime::ZERO + offset, WorldEvent::Subscribe { node });
+            self.queue.schedule(
+                SimTime::ZERO + offset,
+                WorldEvent::Subscribe {
+                    node: NodeId::from_index(node),
+                },
+            );
         }
         // Mobility ticks.
         self.queue.schedule(
@@ -450,7 +490,9 @@ impl World {
         for index in 0..self.scenario.publications.len() {
             self.queue.schedule(
                 self.scenario.publications[index].at,
-                WorldEvent::Publish { index },
+                WorldEvent::Publish {
+                    index: u32::try_from(index).expect("publication index exceeds u32"),
+                },
             );
         }
         // Warm-up boundary.
@@ -550,9 +592,21 @@ impl World {
     /// eager draining cannot fire a timer that an earlier event of the same
     /// batch cancelled or re-armed.
     pub fn run_mut(&mut self) -> RunReport {
+        self.run_until(self.end);
+        self.report()
+    }
+
+    /// Advances the simulation until every event at or before `deadline` has
+    /// been dispatched (the scenario end still caps the run), leaving the
+    /// world ready to continue. Stepping a run in slices is what lets the
+    /// allocation-accounting tests warm a world up, open a measurement
+    /// window, and assert over just the steady-state slice; a single
+    /// `run_until(end)` is exactly [`World::run_mut`] minus the report.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        let deadline = deadline.min(self.end);
         let mut batch = std::mem::take(&mut self.batch_scratch);
         while let Some(at) = self.queue.peek_time() {
-            if at > self.end {
+            if at > deadline {
                 break;
             }
             self.now = at;
@@ -563,7 +617,6 @@ impl World {
             }
         }
         self.batch_scratch = batch;
-        self.report()
     }
 
     fn dispatch(&mut self, handle: EventHandle, event: WorldEvent) {
@@ -575,7 +628,7 @@ impl World {
                 // is still the armed instance for (node, kind). An earlier
                 // event of the same batch may have cancelled or re-armed it —
                 // the reference heap would then never have popped it.
-                let slot = &mut self.timer_slots[node][kind.index()];
+                let slot = &mut self.timer_slots[node.index()][kind.index()];
                 if *slot == Some(handle) {
                     *slot = None;
                     self.on_timer(node, kind);
@@ -610,23 +663,23 @@ impl World {
         // the current tick exactly as the naive path would. The chunk
         // cannot cross the pause end: the node would have woken at the
         // earlier tick otherwise.
-        let skipped = now - node.last_advance;
+        let skipped = now - self.last_advance[index];
         if skipped > tick {
             node.mobility.advance(skipped - tick, &mut node.rng);
         }
         node.mobility.advance(tick, &mut node.rng);
-        node.last_advance = now;
+        self.last_advance[index] = now;
         let speed = node.mobility.speed();
         // Moving nodes are advanced every tick (their position changes);
         // idle nodes sleep until their phase can end. `speed` is already
         // in the protocol from the tick the node stopped, so skipped ticks
         // lose nothing.
-        node.wake = if speed > 0.0 {
+        let wake = if speed > 0.0 {
             now
         } else {
             now.saturating_add(node.mobility.time_to_transition())
         };
-        let wake = node.wake;
+        self.wake_times[index] = wake;
         let position = node.mobility.position();
         node.protocol.update_speed(Some(speed));
         self.medium.update_position(index, position);
@@ -698,7 +751,7 @@ impl World {
             // Dirty-tick skip: a node that is not moving cannot change
             // position or draw randomness before its wake time, so ticks
             // strictly before it are a no-op for this node.
-            if self.nodes[index].wake > now {
+            if self.wake_times[index] > now {
                 continue;
             }
             self.advance_due_node(index, now, tick);
@@ -716,81 +769,95 @@ impl World {
         }
     }
 
-    fn on_subscribe(&mut self, node: usize) {
-        let topic = if self.nodes[node].subscriber {
+    fn on_subscribe(&mut self, node: NodeId) {
+        let topic = if self.subscriber_bits.contains(node.index()) {
             self.scenario.subscriber_topic.clone()
         } else {
             self.scenario.bystander_topic.clone()
         };
         let now = self.now;
-        let mut actions = std::mem::take(&mut self.action_scratch);
-        actions.extend(self.nodes[node].protocol.subscribe(topic, now));
-        self.apply_actions(node, &mut actions);
-        self.action_scratch = actions;
+        let mut out = std::mem::take(&mut self.action_buf);
+        self.nodes[node.index()]
+            .protocol
+            .subscribe(topic, now, &mut out);
+        self.apply_actions(node, &mut out);
+        self.action_buf = out;
     }
 
-    fn on_timer(&mut self, node: usize, kind: TimerKind) {
+    fn on_timer(&mut self, node: NodeId, kind: TimerKind) {
         let now = self.now;
-        let mut actions = std::mem::take(&mut self.action_scratch);
-        actions.extend(self.nodes[node].protocol.handle_timer(kind, now));
-        self.apply_actions(node, &mut actions);
-        self.action_scratch = actions;
+        let mut out = std::mem::take(&mut self.action_buf);
+        self.nodes[node.index()]
+            .protocol
+            .handle_timer(kind, now, &mut out);
+        self.apply_actions(node, &mut out);
+        self.action_buf = out;
     }
 
-    fn on_tx_start(&mut self, frame: usize) {
-        let (sender, size) = match &self.frames[frame] {
+    fn on_tx_start(&mut self, frame: u32) {
+        let (sender, size) = match &self.frames[frame as usize] {
             Some(pending) => (
                 pending.sender,
                 pending.message.wire_size_bytes(&self.sizing),
             ),
             None => return,
         };
-        let (tx, ends_at) = self.medium.begin_transmission(sender, size, self.now);
+        let (tx, ends_at) = self
+            .medium
+            .begin_transmission(sender.index(), size, self.now);
         self.queue
             .schedule(ends_at, WorldEvent::TxEnd { frame, tx });
     }
 
-    fn on_tx_end(&mut self, frame: usize, tx: TxId) {
-        let pending = match self.frames[frame].take() {
+    fn on_tx_end(&mut self, frame: u32, tx: TxId) {
+        let pending = match self.frames[frame as usize].take() {
             Some(pending) => pending,
             None => return,
         };
-        let outcomes = self.medium.complete_transmission(tx, &mut self.mac_rng);
+        // The slot is free for the next broadcast; the slab stops growing
+        // once the number of concurrently in-flight frames peaks.
+        self.free_frames.push(frame);
+        let mut outcomes = std::mem::take(&mut self.outcome_scratch);
+        outcomes.clear();
+        self.medium
+            .complete_transmission_into(tx, &mut self.mac_rng, &mut outcomes);
         let now = self.now;
-        let mut actions = std::mem::take(&mut self.action_scratch);
-        for (receiver, outcome) in outcomes {
+        let mut out = std::mem::take(&mut self.action_buf);
+        for &(receiver, outcome) in &outcomes {
             if outcome != ReceptionOutcome::Received {
                 continue;
             }
-            actions.extend(
-                self.nodes[receiver]
-                    .protocol
-                    .handle_message(&pending.message, now),
-            );
-            self.apply_actions(receiver, &mut actions);
+            self.nodes[receiver]
+                .protocol
+                .handle_message(&pending.message, now, &mut out);
+            self.apply_actions(NodeId::from_index(receiver), &mut out);
         }
-        self.action_scratch = actions;
+        // The frame died: reclaim the vectors inside its message so the next
+        // broadcast builds on their capacity instead of allocating.
+        out.recycle_message(pending.message);
+        self.action_buf = out;
+        self.outcome_scratch = outcomes;
     }
 
-    fn on_publish(&mut self, index: usize) {
-        let publication = self.scenario.publications[index].clone();
+    fn on_publish(&mut self, index: u32) {
+        let publication = self.scenario.publications[index as usize].clone();
         let publisher = self.resolve_publisher(publication.publisher);
         let now = self.now;
-        let (id, actions) = self.nodes[publisher].protocol.publish(
+        let mut out = std::mem::take(&mut self.action_buf);
+        let id = self.nodes[publisher].protocol.publish(
             publication.topic.clone(),
             publication.validity,
             publication.payload_bytes,
             now,
+            &mut out,
         );
         self.published.push(PublishedRecord {
             id,
             publisher,
             topic: publication.topic,
         });
-        let mut drained = std::mem::take(&mut self.action_scratch);
-        drained.extend(actions);
-        self.apply_actions(publisher, &mut drained);
-        self.action_scratch = drained;
+        self.apply_actions(NodeId::from_index(publisher), &mut out);
+        self.action_buf = out;
     }
 
     fn on_warmup_end(&mut self) {
@@ -821,23 +888,33 @@ impl World {
         }
     }
 
-    /// Drains `actions` (the world's reusable scratch buffer, refilled by the
+    /// Drains `out` (the world's reusable action buffer, refilled by the
     /// caller from a protocol callback) and carries each action out. The
-    /// buffer comes back empty, ready for the next event. Protocol callbacks
-    /// still return their own `Vec<Action>` (the trait is unchanged); the
-    /// scratch only keeps the world-side drain buffer allocated once per run.
-    fn apply_actions(&mut self, node: usize, actions: &mut Vec<Action>) {
-        for action in actions.drain(..) {
+    /// buffer comes back empty — with its capacity and message-vector pools
+    /// intact — ready for the next event.
+    fn apply_actions(&mut self, node: NodeId, out: &mut ActionBuf) {
+        for action in out.drain() {
             match action {
                 Action::Broadcast(message) => {
                     let jitter = self
                         .mac_rng
                         .jitter(self.scenario.radio.max_contention_jitter);
-                    let frame = self.frames.len();
-                    self.frames.push(Some(PendingFrame {
+                    let pending = PendingFrame {
                         sender: node,
                         message,
-                    }));
+                    };
+                    let frame = match self.free_frames.pop() {
+                        Some(slot) => {
+                            self.frames[slot as usize] = Some(pending);
+                            slot
+                        }
+                        None => {
+                            let slot =
+                                u32::try_from(self.frames.len()).expect("frame slab exceeds u32");
+                            self.frames.push(Some(pending));
+                            slot
+                        }
+                    };
                     self.queue
                         .schedule(self.now + jitter, WorldEvent::TxStart { frame });
                 }
@@ -846,16 +923,16 @@ impl World {
                     // world has nothing extra to do.
                 }
                 Action::SetTimer { kind, after } => {
-                    if let Some(handle) = self.timer_slots[node][kind.index()].take() {
+                    if let Some(handle) = self.timer_slots[node.index()][kind.index()].take() {
                         self.queue.cancel(handle);
                     }
                     let handle = self
                         .queue
                         .schedule(self.now + after, WorldEvent::Timer { node, kind });
-                    self.timer_slots[node][kind.index()] = Some(handle);
+                    self.timer_slots[node.index()][kind.index()] = Some(handle);
                 }
                 Action::CancelTimer(kind) => {
-                    if let Some(handle) = self.timer_slots[node][kind.index()].take() {
+                    if let Some(handle) = self.timer_slots[node.index()][kind.index()].take() {
                         self.queue.cancel(handle);
                     }
                 }

@@ -256,13 +256,30 @@ impl RadioMedium {
         tx: TxId,
         rng: &mut SimRng,
     ) -> Vec<(usize, ReceptionOutcome)> {
+        let mut outcomes = Vec::new();
+        self.complete_transmission_into(tx, rng, &mut outcomes);
+        outcomes
+    }
+
+    /// Allocation-free variant of [`RadioMedium::complete_transmission`]:
+    /// appends the per-receiver outcomes to a caller-owned scratch vector
+    /// (which is **not** cleared first) instead of returning a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is unknown or already completed.
+    pub fn complete_transmission_into(
+        &mut self,
+        tx: TxId,
+        rng: &mut SimRng,
+        outcomes: &mut Vec<(usize, ReceptionOutcome)>,
+    ) {
         let current = self.take_current(tx);
         let mut candidates = std::mem::take(&mut self.candidates);
         self.grid
             .query_into(current.position, self.config.range_m, &mut candidates);
-        let outcomes = self.resolve_receivers(&current, &candidates, rng);
+        self.resolve_receivers(&current, &candidates, rng, outcomes);
         self.candidates = candidates;
-        outcomes
     }
 
     /// The pre-grid reference path: resolves reception by scanning **all**
@@ -277,7 +294,9 @@ impl RadioMedium {
     ) -> Vec<(usize, ReceptionOutcome)> {
         let current = self.take_current(tx);
         let everyone: Vec<usize> = (0..self.counters.len()).collect();
-        self.resolve_receivers(&current, &everyone, rng)
+        let mut outcomes = Vec::new();
+        self.resolve_receivers(&current, &everyone, rng, &mut outcomes);
+        outcomes
     }
 
     /// Marks `tx` completed and returns a copy of its record.
@@ -299,8 +318,8 @@ impl RadioMedium {
         current: &Transmission,
         receivers: &[usize],
         rng: &mut SimRng,
-    ) -> Vec<(usize, ReceptionOutcome)> {
-        let mut outcomes = Vec::new();
+        outcomes: &mut Vec<(usize, ReceptionOutcome)>,
+    ) {
         for &receiver in receivers {
             if receiver == current.sender {
                 continue;
@@ -327,7 +346,6 @@ impl RadioMedium {
             }
             outcomes.push((receiver, outcome));
         }
-        outcomes
     }
 
     fn resolve_reception(
@@ -378,12 +396,14 @@ impl RadioMedium {
         self.transmissions
             .retain(|t| !t.completed || t.end + horizon > now);
         if self.transmissions.len() != before {
-            self.tx_index = self
-                .transmissions
-                .iter()
-                .enumerate()
-                .map(|(idx, t)| (t.id, idx))
-                .collect();
+            // Reuse the map's buckets instead of collecting into a fresh one.
+            self.tx_index.clear();
+            self.tx_index.extend(
+                self.transmissions
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, t)| (t.id, idx)),
+            );
         }
     }
 

@@ -10,11 +10,18 @@ use crate::topic::Topic;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// The set of topics a process has subscribed to.
+///
+/// The topic set is shared behind an [`Arc`] with copy-on-write mutation:
+/// cloning a set — which every heartbeat and every neighborhood-table upsert
+/// does — is a reference-count bump, while `subscribe`/`unsubscribe`/`clear`
+/// copy the underlying tree only if it is currently shared. Equality and
+/// iteration order see through the `Arc`, so the sharing is unobservable.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SubscriptionSet {
-    topics: BTreeSet<Topic>,
+    topics: Arc<BTreeSet<Topic>>,
 }
 
 impl SubscriptionSet {
@@ -32,19 +39,19 @@ impl SubscriptionSet {
 
     /// Adds a subscription. Returns `true` if it was not already present.
     pub fn subscribe(&mut self, topic: Topic) -> bool {
-        self.topics.insert(topic)
+        Arc::make_mut(&mut self.topics).insert(topic)
     }
 
     /// Removes a subscription. Returns `true` if it was present.
     pub fn unsubscribe(&mut self, topic: &Topic) -> bool {
-        self.topics.remove(topic)
+        Arc::make_mut(&mut self.topics).remove(topic)
     }
 
     /// Removes every subscription, leaving the set as freshly constructed.
     /// Used by the protocols' in-place `reset` when a simulation world is
     /// recycled across seeds.
     pub fn clear(&mut self) {
-        self.topics.clear();
+        Arc::make_mut(&mut self.topics).clear();
     }
 
     /// `true` when the process has no subscriptions left (at which point the
@@ -123,14 +130,14 @@ impl fmt::Display for SubscriptionSet {
 impl FromIterator<Topic> for SubscriptionSet {
     fn from_iter<I: IntoIterator<Item = Topic>>(iter: I) -> Self {
         SubscriptionSet {
-            topics: iter.into_iter().collect(),
+            topics: Arc::new(iter.into_iter().collect()),
         }
     }
 }
 
 impl Extend<Topic> for SubscriptionSet {
     fn extend<I: IntoIterator<Item = Topic>>(&mut self, iter: I) {
-        self.topics.extend(iter);
+        Arc::make_mut(&mut self.topics).extend(iter);
     }
 }
 
@@ -234,13 +241,16 @@ mod proptests {
     use proptest::prelude::*;
 
     fn topic_strategy() -> impl Strategy<Value = Topic> {
-        proptest::collection::vec("[a-z]{1,3}", 0..4).prop_map(|segs| {
-            let mut topic = Topic::root();
-            for s in segs {
-                topic = topic.child(&s);
-            }
-            topic
-        })
+        proptest::collection::vec("[a-z]{1,3}", 0..4).prop_map_invertible(
+            |segs| {
+                let mut topic = Topic::root();
+                for s in &segs {
+                    topic = topic.child(s);
+                }
+                topic
+            },
+            |topic| topic.segments().to_vec(),
+        )
     }
 
     proptest! {

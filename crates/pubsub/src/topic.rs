@@ -9,14 +9,21 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// A topic in the hierarchy, e.g. `.grenoble.conferences.middleware`.
 ///
 /// The root topic (written `.`) has zero segments; every other topic is a
 /// non-empty list of segments.
+///
+/// The segment list is shared behind an [`Arc`], so cloning a topic — which
+/// every heartbeat, stored event and neighborhood entry does — is a
+/// reference-count bump rather than a fresh allocation. Equality, ordering
+/// and hashing see through the `Arc` to the segments, so the sharing is
+/// unobservable.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Topic {
-    segments: Vec<String>,
+    segments: Arc<Vec<String>>,
 }
 
 /// Errors raised when parsing a [`Topic`] from text.
@@ -63,7 +70,7 @@ impl Topic {
     /// The root topic `.`, ancestor of every topic.
     pub fn root() -> Topic {
         Topic {
-            segments: Vec::new(),
+            segments: Arc::new(Vec::new()),
         }
     }
 
@@ -101,7 +108,9 @@ impl Topic {
             }
             segments.push(segment.to_owned());
         }
-        Ok(Topic { segments })
+        Ok(Topic {
+            segments: Arc::new(segments),
+        })
     }
 
     /// Builds the child topic `self.segment`.
@@ -111,9 +120,11 @@ impl Topic {
     /// Panics if `segment` is not a valid topic segment.
     pub fn child(&self, segment: &str) -> Topic {
         assert!(valid_segment(segment), "invalid topic segment {segment:?}");
-        let mut segments = self.segments.clone();
+        let mut segments = (*self.segments).clone();
         segments.push(segment.to_owned());
-        Topic { segments }
+        Topic {
+            segments: Arc::new(segments),
+        }
     }
 
     /// The parent topic, or `None` for the root.
@@ -122,7 +133,7 @@ impl Topic {
             None
         } else {
             Some(Topic {
-                segments: self.segments[..self.segments.len() - 1].to_vec(),
+                segments: Arc::new(self.segments[..self.segments.len() - 1].to_vec()),
             })
         }
     }
@@ -189,7 +200,7 @@ impl fmt::Display for Topic {
         if self.segments.is_empty() {
             write!(f, ".")
         } else {
-            for segment in &self.segments {
+            for segment in self.segments.iter() {
                 write!(f, ".{segment}")?;
             }
             Ok(())
@@ -322,13 +333,16 @@ mod proptests {
     }
 
     fn topic_strategy() -> impl Strategy<Value = Topic> {
-        proptest::collection::vec(segment_strategy(), 0..6).prop_map(|segments| {
-            let mut topic = Topic::root();
-            for s in segments {
-                topic = topic.child(&s);
-            }
-            topic
-        })
+        proptest::collection::vec(segment_strategy(), 0..6).prop_map_invertible(
+            |segments| {
+                let mut topic = Topic::root();
+                for s in &segments {
+                    topic = topic.child(s);
+                }
+                topic
+            },
+            |topic| topic.segments().to_vec(),
+        )
     }
 
     proptest! {

@@ -219,13 +219,18 @@ mod proptests {
     use proptest::prelude::*;
 
     fn topic_strategy() -> impl Strategy<Value = Topic> {
-        proptest::collection::vec("[a-c]{1,2}", 0..4).prop_map(|segs| {
-            let mut topic = Topic::root();
-            for s in segs {
-                topic = topic.child(&s);
-            }
-            topic
-        })
+        // Invertible so failing cases shrink through the segment vector
+        // instead of only re-sampling whole topics.
+        proptest::collection::vec("[a-c]{1,2}", 0..4).prop_map_invertible(
+            |segs| {
+                let mut topic = Topic::root();
+                for s in &segs {
+                    topic = topic.child(s);
+                }
+                topic
+            },
+            |topic| topic.segments().to_vec(),
+        )
     }
 
     proptest! {

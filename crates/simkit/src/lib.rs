@@ -14,6 +14,8 @@
 //!   ([`EventQueue`]);
 //! * [`rng`] — deterministic, splittable random streams ([`SimRng`]) so every
 //!   experiment is reproducible from a single seed;
+//! * [`ids`] — dense 32-bit node ids ([`NodeId`]) and bit-packed membership
+//!   sets ([`BitSet`]) shared by the simulation layers;
 //! * [`stats`] — streaming statistics ([`OnlineStats`]) for averaging the 30
 //!   runs per data point used throughout the paper's evaluation.
 //!
@@ -45,11 +47,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ids;
 pub mod rng;
 pub mod scheduler;
 pub mod stats;
 pub mod time;
 
+pub use ids::{BitSet, NodeId};
 pub use rng::SimRng;
 pub use scheduler::{EventHandle, EventQueue, IndexedMinQueue, TimerWheel};
 pub use stats::{OnlineStats, Summary};

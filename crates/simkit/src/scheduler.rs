@@ -44,7 +44,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Opaque handle identifying a scheduled event, used to cancel it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -286,6 +286,9 @@ const WHEEL_LEVELS: usize = 3;
 const WHEEL_SPAN_MS: u64 = 1 << (SLOT_BITS * WHEEL_LEVELS as u32);
 /// Words of the per-level occupancy bitmaps (256 slots / 64 bits).
 const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
+/// Null link of the intrusive bucket lists (no slab slot has this index: the
+/// slab is indexed by `u32` and would overflow before reaching it).
+const NIL: u32 = u32::MAX;
 
 /// Lifecycle of one slab slot of the [`TimerWheel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -300,25 +303,32 @@ enum SlabState {
     Dead,
 }
 
-/// Per-handle bookkeeping: cancellation state plus the generation that makes
-/// recycled slab indices distinguishable from their previous tenants.
-#[derive(Debug, Clone, Copy)]
-struct SlabSlot {
+/// One slab slot: the event itself plus per-handle bookkeeping (cancellation
+/// state and the generation that makes recycled indices distinguishable from
+/// their previous tenants).
+///
+/// Events live *in the slab*, not in the buckets: each wheel bucket is an
+/// intrusive singly-linked list threaded through the `next` field, so placing
+/// an event — whether from a fresh schedule, a cascade or a far migration —
+/// is a pointer relink that never allocates. (Per-bucket `Vec`s looked
+/// harmless but never stopped allocating: bucket indices are a function of
+/// absolute time, so a long run keeps reaching buckets whose `Vec` has not
+/// yet grown to that instant's occupancy.)
+#[derive(Debug)]
+struct SlabSlot<E> {
     generation: u32,
     state: SlabState,
-}
-
-/// One scheduled event inside the wheel or the far list.
-#[derive(Debug)]
-struct WheelEntry<E> {
     /// The millisecond the event was scheduled for (its *effective* due time
     /// is clamped to the wheel floor at placement, see [`TimerWheel`] docs).
     time_ms: u64,
     /// Global insertion order; breaks ties between equal timestamps.
     seq: u64,
-    /// Index into the slab, identifying the handle and cancellation state.
-    slab: u32,
-    payload: E,
+    /// Next slab index in the same bucket list, [`NIL`] at the tail.
+    /// Meaningful only while the event is in a wheel bucket.
+    next: u32,
+    /// `Some` while the event is pending; taken when it fires, dropped when
+    /// its tombstone is reclaimed.
+    payload: Option<E>,
 }
 
 /// Where [`TimerWheel::place`] put an entry.
@@ -379,16 +389,23 @@ enum Placed {
 pub struct TimerWheel<E> {
     /// The wheel floor, in ms: no pending event is earlier.
     base: u64,
-    /// `WHEEL_LEVELS * WHEEL_SLOTS` buckets, level-major.
-    slots: Vec<Vec<WheelEntry<E>>>,
+    /// `WHEEL_LEVELS * WHEEL_SLOTS` bucket list heads (slab indices, [`NIL`]
+    /// when empty), level-major. Fixed-size: the events themselves live in
+    /// the slab, linked through [`SlabSlot::next`].
+    slots: Vec<u32>,
     /// Per-level slot-occupancy bitmaps (occupied = holds entries, live or
     /// tombstoned).
     occupied: [[u64; BITMAP_WORDS]; WHEEL_LEVELS],
-    /// Events beyond the wheel horizon, sorted ascending by `(time, seq)`.
-    far: Vec<WheelEntry<E>>,
-    /// Handle slab; parallel free list below.
-    slab: Vec<SlabSlot>,
+    /// Slab indices of events beyond the wheel horizon, sorted ascending by
+    /// `(time, seq)`. A deque so migrating the front into the wheels is O(1)
+    /// per entry (a sorted `Vec` paid O(len) per front removal); inserts
+    /// still binary search, which far events are rare enough to afford.
+    far: VecDeque<u32>,
+    /// Event slab; parallel free list below.
+    slab: Vec<SlabSlot<E>>,
     free: Vec<u32>,
+    /// Scratch for the seq-sort of a draining batch; kept to reuse capacity.
+    batch_scratch: Vec<u32>,
     /// Global insertion counter (FIFO tie-break between equal timestamps).
     next_seq: u64,
     /// Pending (non-cancelled) events, total / in the wheels / in the far
@@ -412,13 +429,12 @@ impl<E> TimerWheel<E> {
     pub fn new() -> Self {
         TimerWheel {
             base: 0,
-            slots: (0..WHEEL_LEVELS * WHEEL_SLOTS)
-                .map(|_| Vec::new())
-                .collect(),
+            slots: vec![NIL; WHEEL_LEVELS * WHEEL_SLOTS],
             occupied: [[0; BITMAP_WORDS]; WHEEL_LEVELS],
-            far: Vec::new(),
+            far: VecDeque::new(),
             slab: Vec::new(),
             free: Vec::new(),
+            batch_scratch: Vec::new(),
             next_seq: 0,
             live: 0,
             wheel_live: 0,
@@ -445,15 +461,13 @@ impl<E> TimerWheel<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let slab = self.alloc_slab();
-        let handle = EventHandle(pack_handle(slab, self.slab[slab as usize].generation));
-        let entry = WheelEntry {
-            time_ms: time.as_millis(),
-            seq,
-            slab,
-            payload,
-        };
+        let slot = &mut self.slab[slab as usize];
+        let handle = EventHandle(pack_handle(slab, slot.generation));
+        slot.time_ms = time.as_millis();
+        slot.seq = seq;
+        slot.payload = Some(payload);
         self.live += 1;
-        match self.place(entry) {
+        match self.place(slab) {
             Placed::Wheel => self.wheel_live += 1,
             Placed::Far => self.far_live += 1,
         }
@@ -513,7 +527,7 @@ impl<E> TimerWheel<E> {
                 // far horizon instead of stepping the wheels through the gap.
                 self.prune_far_front();
                 debug_assert!(!self.far.is_empty(), "far_live > 0 but far list empty");
-                self.base = self.base.max(self.far[0].time_ms);
+                self.base = self.base.max(self.slab[self.far[0] as usize].time_ms);
                 self.migrate_far();
                 continue;
             }
@@ -550,26 +564,32 @@ impl<E> TimerWheel<E> {
             return None;
         }
         let index = (time.as_millis() & SLOT_MASK) as usize;
-        let mut entries = std::mem::take(&mut self.slots[index]);
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
+        let mut cursor = self.slots[index];
+        self.slots[index] = NIL;
+        while cursor != NIL {
+            batch.push(cursor);
+            cursor = self.slab[cursor as usize].next;
+        }
         // Entries landed here through direct schedules and cascades in mixed
         // order; seq order is the heap's FIFO order for this timestamp.
-        entries.sort_unstable_by_key(|entry| entry.seq);
-        for entry in entries.drain(..) {
-            let slot = self.slab[entry.slab as usize];
+        batch.sort_unstable_by_key(|&slab| self.slab[slab as usize].seq);
+        for &slab in &batch {
+            let slot = &mut self.slab[slab as usize];
             if slot.state == SlabState::LiveWheel {
                 self.live -= 1;
                 self.wheel_live -= 1;
-                self.release_slab(entry.slab);
-                out.push((
-                    EventHandle(pack_handle(entry.slab, slot.generation)),
-                    entry.payload,
-                ));
+                let handle = EventHandle(pack_handle(slab, slot.generation));
+                let payload = slot.payload.take().expect("live event holds a payload");
+                self.release_slab(slab);
+                out.push((handle, payload));
             } else {
                 debug_assert_eq!(slot.state, SlabState::Dead);
-                self.release_slab(entry.slab);
+                self.release_slab(slab);
             }
         }
-        self.slots[index] = entries; // keep the allocation
+        self.batch_scratch = batch; // keep the allocation
         self.clear_occupied(0, index);
         self.staged = None;
         Some(time)
@@ -580,24 +600,40 @@ impl<E> TimerWheel<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let time = self.peek_time()?;
         let index = (time.as_millis() & SLOT_MASK) as usize;
-        let mut earliest: Option<usize> = None;
-        for (at, entry) in self.slots[index].iter().enumerate() {
-            if self.slab[entry.slab as usize].state == SlabState::LiveWheel
-                && earliest.is_none_or(|best| entry.seq < self.slots[index][best].seq)
+        // Find the lowest-seq live entry, remembering its predecessor so it
+        // can be unlinked.
+        let mut earliest: Option<(u32, u32)> = None; // (entry, prev or NIL)
+        let mut prev = NIL;
+        let mut cursor = self.slots[index];
+        while cursor != NIL {
+            let slot = &self.slab[cursor as usize];
+            if slot.state == SlabState::LiveWheel
+                && earliest.is_none_or(|(best, _)| slot.seq < self.slab[best as usize].seq)
             {
-                earliest = Some(at);
+                earliest = Some((cursor, prev));
             }
+            prev = cursor;
+            cursor = slot.next;
         }
-        let at = earliest.expect("staged slot must hold a live entry");
-        let entry = self.slots[index].swap_remove(at);
+        let (slab, prev) = earliest.expect("staged slot must hold a live entry");
+        let next = self.slab[slab as usize].next;
+        if prev == NIL {
+            self.slots[index] = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
         self.live -= 1;
         self.wheel_live -= 1;
-        self.release_slab(entry.slab);
-        if self.slots[index].is_empty() {
+        let payload = self.slab[slab as usize]
+            .payload
+            .take()
+            .expect("live event holds a payload");
+        self.release_slab(slab);
+        if self.slots[index] == NIL {
             self.clear_occupied(0, index);
             self.staged = None;
         }
-        Some((time, entry.payload))
+        Some((time, payload))
     }
 
     /// Drops every pending event and tombstone, resets the floor to
@@ -608,9 +644,7 @@ impl<E> TimerWheel<E> {
     /// with [`EventQueue::clear`] — handles issued before `clear` are
     /// invalidated and must not be cancelled afterwards.
     pub fn clear(&mut self) {
-        for bucket in &mut self.slots {
-            bucket.clear();
-        }
+        self.slots.fill(NIL);
         self.occupied = [[0; BITMAP_WORDS]; WHEEL_LEVELS];
         self.far.clear();
         self.free.clear();
@@ -619,6 +653,7 @@ impl<E> TimerWheel<E> {
                 self.slab[index].generation = self.slab[index].generation.wrapping_add(1);
                 self.slab[index].state = SlabState::Free;
             }
+            self.slab[index].payload = None;
             self.free.push(index as u32);
         }
         self.base = 0;
@@ -629,19 +664,25 @@ impl<E> TimerWheel<E> {
         self.staged = None;
     }
 
-    /// Places `entry` into the wheel level covering its effective time, or
-    /// into the far list, and records the location in its slab slot. Pure
-    /// placement: the live counters are the caller's business (placement is
-    /// also used for cascades and migrations, which move existing entries).
-    fn place(&mut self, entry: WheelEntry<E>) -> Placed {
-        let effective = entry.time_ms.max(self.base);
+    /// Places the event in slab slot `slab` into the wheel level covering its
+    /// effective time, or into the far list. Pure placement: the live
+    /// counters are the caller's business (placement is also used for
+    /// cascades and migrations, which move existing entries). Never
+    /// allocates on the wheel path — placing is a bucket-list relink.
+    fn place(&mut self, slab: u32) -> Placed {
+        let (time_ms, seq) = {
+            let slot = &self.slab[slab as usize];
+            (slot.time_ms, slot.seq)
+        };
+        let effective = time_ms.max(self.base);
         let delta = effective - self.base;
         if delta >= WHEEL_SPAN_MS {
-            self.slab[entry.slab as usize].state = SlabState::LiveFar;
-            let at = self
-                .far
-                .partition_point(|e| (e.time_ms, e.seq) < (entry.time_ms, entry.seq));
-            self.far.insert(at, entry);
+            self.slab[slab as usize].state = SlabState::LiveFar;
+            let at = self.far.partition_point(|&other| {
+                let o = &self.slab[other as usize];
+                (o.time_ms, o.seq) < (time_ms, seq)
+            });
+            self.far.insert(at, slab);
             return Placed::Far;
         }
         let level = match delta {
@@ -650,8 +691,10 @@ impl<E> TimerWheel<E> {
             _ => 2,
         };
         let index = ((effective >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
-        self.slab[entry.slab as usize].state = SlabState::LiveWheel;
-        self.slots[level * WHEEL_SLOTS + index].push(entry);
+        let slot = &mut self.slab[slab as usize];
+        slot.state = SlabState::LiveWheel;
+        slot.next = self.slots[level * WHEEL_SLOTS + index];
+        self.slots[level * WHEEL_SLOTS + index] = slab;
         self.set_occupied(level, index);
         Placed::Wheel
     }
@@ -679,40 +722,42 @@ impl<E> TimerWheel<E> {
         if self.occupied[level][index / 64] & (1 << (index % 64)) == 0 {
             return;
         }
-        let mut entries = std::mem::take(&mut self.slots[level * WHEEL_SLOTS + index]);
+        let mut cursor = self.slots[level * WHEEL_SLOTS + index];
+        self.slots[level * WHEEL_SLOTS + index] = NIL;
         self.clear_occupied(level, index);
-        for entry in entries.drain(..) {
-            if self.slab[entry.slab as usize].state == SlabState::Dead {
-                self.release_slab(entry.slab);
+        while cursor != NIL {
+            let next = self.slab[cursor as usize].next;
+            if self.slab[cursor as usize].state == SlabState::Dead {
+                self.release_slab(cursor);
             } else {
-                debug_assert!(entry.time_ms.max(self.base) - self.base < WHEEL_SPAN_MS);
-                let placed = self.place(entry);
+                debug_assert!(
+                    self.slab[cursor as usize].time_ms.max(self.base) - self.base < WHEEL_SPAN_MS
+                );
+                let placed = self.place(cursor);
                 debug_assert_eq!(placed, Placed::Wheel, "cascade cannot move entries far");
             }
+            cursor = next;
         }
-        self.slots[level * WHEEL_SLOTS + index] = entries; // keep the allocation
     }
 
     /// Moves far entries whose time has come inside the wheel horizon into
     /// the wheels, reclaiming far tombstones on the way.
     fn migrate_far(&mut self) {
-        while let Some(first) = self.far.first() {
-            if self.slab[first.slab as usize].state == SlabState::Dead {
-                let entry = self.far.remove(0);
-                self.release_slab(entry.slab);
+        while let Some(&first) = self.far.front() {
+            let slot = &self.slab[first as usize];
+            if slot.state == SlabState::Dead {
+                self.far.pop_front();
+                self.release_slab(first);
                 continue;
             }
-            debug_assert!(
-                first.time_ms >= self.base,
-                "far entry fell behind the floor"
-            );
-            if first.time_ms - self.base >= WHEEL_SPAN_MS {
+            debug_assert!(slot.time_ms >= self.base, "far entry fell behind the floor");
+            if slot.time_ms - self.base >= WHEEL_SPAN_MS {
                 break;
             }
-            let entry = self.far.remove(0);
+            self.far.pop_front();
             self.far_live -= 1;
             self.wheel_live += 1;
-            let placed = self.place(entry);
+            let placed = self.place(first);
             debug_assert_eq!(placed, Placed::Wheel, "migrated entry must be near now");
         }
     }
@@ -720,29 +765,38 @@ impl<E> TimerWheel<E> {
     /// Drops cancelled entries from the head of the far list so `far[0]` is
     /// live. Only called when the wheels are empty and `far_live > 0`.
     fn prune_far_front(&mut self) {
-        while let Some(first) = self.far.first() {
-            if self.slab[first.slab as usize].state != SlabState::Dead {
+        while let Some(&first) = self.far.front() {
+            if self.slab[first as usize].state != SlabState::Dead {
                 break;
             }
-            let entry = self.far.remove(0);
-            self.release_slab(entry.slab);
+            self.far.pop_front();
+            self.release_slab(first);
         }
     }
 
     /// Reclaims the tombstones of level-0 slot `index`; returns `true` if
     /// live entries remain (clearing the occupancy bit otherwise).
     fn prune_slot(&mut self, index: usize) -> bool {
-        let mut entries = std::mem::take(&mut self.slots[index]);
-        entries.retain(|entry| {
-            if self.slab[entry.slab as usize].state == SlabState::Dead {
-                self.release_slab(entry.slab);
-                false
+        // Unlink tombstones from the head...
+        let mut head = self.slots[index];
+        while head != NIL && self.slab[head as usize].state == SlabState::Dead {
+            let next = self.slab[head as usize].next;
+            self.release_slab(head);
+            head = next;
+        }
+        // ...then from the interior.
+        let mut cursor = head;
+        while cursor != NIL {
+            let next = self.slab[cursor as usize].next;
+            if next != NIL && self.slab[next as usize].state == SlabState::Dead {
+                self.slab[cursor as usize].next = self.slab[next as usize].next;
+                self.release_slab(next);
             } else {
-                true
+                cursor = next;
             }
-        });
-        let has_live = !entries.is_empty();
-        self.slots[index] = entries;
+        }
+        self.slots[index] = head;
+        let has_live = head != NIL;
         if !has_live {
             self.clear_occupied(0, index);
         }
@@ -751,9 +805,15 @@ impl<E> TimerWheel<E> {
 
     /// `true` if level-0 slot `index` holds at least one live entry.
     fn slot_has_live(&self, index: usize) -> bool {
-        self.slots[index]
-            .iter()
-            .any(|entry| self.slab[entry.slab as usize].state == SlabState::LiveWheel)
+        let mut cursor = self.slots[index];
+        while cursor != NIL {
+            let slot = &self.slab[cursor as usize];
+            if slot.state == SlabState::LiveWheel {
+                return true;
+            }
+            cursor = slot.next;
+        }
+        false
     }
 
     /// The first occupied slot of `level` at or after `from`, if any.
@@ -792,16 +852,22 @@ impl<E> TimerWheel<E> {
             self.slab.push(SlabSlot {
                 generation: 0,
                 state: SlabState::Free,
+                time_ms: 0,
+                seq: 0,
+                next: NIL,
+                payload: None,
             });
             index
         }
     }
 
-    /// Returns a slab slot to the free list under a bumped generation.
+    /// Returns a slab slot to the free list under a bumped generation,
+    /// dropping its payload if it still holds one (tombstone reclamation).
     fn release_slab(&mut self, index: u32) {
         let slot = &mut self.slab[index as usize];
         slot.generation = slot.generation.wrapping_add(1);
         slot.state = SlabState::Free;
+        slot.payload = None;
         self.free.push(index);
     }
 }

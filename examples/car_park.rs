@@ -13,7 +13,9 @@
 //!
 //! Run with: `cargo run --release --example car_park`
 
-use frugal::{Action, DisseminationProtocol, FrugalProtocol, ProtocolConfig, TimerKind};
+use frugal::{
+    Action, DisseminationProtocol, FrugalProtocol, ProtocolConfig, TimerKind, VecActions,
+};
 use mobility::{CitySection, CitySectionConfig, MobilityModel, Point};
 use pubsub::{ProcessId, Topic};
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
@@ -82,7 +84,7 @@ fn main() {
         for &district in subscriptions[i] {
             actions.extend(
                 car.protocol
-                    .subscribe(district_topics[district].clone(), now),
+                    .subscribe_vec(district_topics[district].clone(), now),
             );
         }
         pending.push((i, actions));
@@ -133,7 +135,7 @@ fn main() {
                         .filter(|&r| r != sender && pos[sender].distance(pos[r]) <= RADIO_RANGE_M)
                         .collect();
                     for receiver in reachable {
-                        let produced = cars[receiver].protocol.handle_message(&message, now);
+                        let produced = cars[receiver].protocol.handle_message_vec(&message, now);
                         apply(receiver, produced, cars, queue, timers, now);
                     }
                 }
@@ -190,7 +192,7 @@ fn main() {
             }
             Happening::Timer { car, kind } => {
                 timers.remove(&(car, kind));
-                let actions = cars[car].protocol.handle_timer(kind, now);
+                let actions = cars[car].protocol.handle_timer_vec(kind, now);
                 apply(car, actions, &mut cars, &mut queue, &mut timers, now);
             }
             Happening::LeaveParking {
@@ -206,7 +208,7 @@ fn main() {
                     district,
                     free_for.as_millis() / 1000
                 );
-                let (_, actions) = cars[car].protocol.publish(topic, free_for, 400, now);
+                let (_, actions) = cars[car].protocol.publish_vec(topic, free_for, 400, now);
                 apply(car, actions, &mut cars, &mut queue, &mut timers, now);
             }
         }

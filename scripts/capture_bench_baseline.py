@@ -5,10 +5,15 @@ Runs ``cargo bench`` (all bench targets), parses the shim's report lines::
 
     bench <group>/<id>: <duration>/iter (<iters> iters in <total>)
 
-and writes a machine-readable baseline keyed by ``<group>/<id>`` with the mean
-nanoseconds per iteration. Future perf PRs diff their numbers against this file
-to claim measured wins (the vendored criterion shim keeps no saved baselines of
-its own).
+and the allocation-metric lines of the ``alloc_scaling`` bench::
+
+    alloc <group>/<id>: <value>
+
+and writes a machine-readable baseline: timing entries keyed by
+``<group>/<id>`` with the mean nanoseconds per iteration under ``benches``,
+allocation counts and bytes/node figures under ``allocs``. Future perf PRs
+diff their numbers against this file to claim measured wins (the vendored
+criterion shim keeps no saved baselines of its own).
 
 Usage:
     python3 scripts/capture_bench_baseline.py [--budget-ms N] [--out FILE]
@@ -27,6 +32,7 @@ import subprocess
 import sys
 
 LINE = re.compile(r"^bench (?P<name>\S+): (?P<per_iter>\S+)/iter \((?P<iters>\d+) iters in (?P<total>\S+)\)$")
+ALLOC_LINE = re.compile(r"^alloc (?P<name>\S+): (?P<value>-?[0-9]+)$")
 DURATION = re.compile(r"^(?P<value>[0-9.]+)(?P<unit>ns|µs|us|ms|s)$")
 UNIT_NS = {"ns": 1, "µs": 1_000, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
 
@@ -53,17 +59,24 @@ def main() -> int:
         return proc.returncode
 
     benches = {}
+    allocs = {}
     for line in proc.stdout.splitlines():
         match = LINE.match(line.strip())
-        if not match:
+        if match:
+            benches[match.group("name")] = {
+                "mean_ns_per_iter": parse_duration_ns(match.group("per_iter")),
+                "iters": int(match.group("iters")),
+                "total_ns": parse_duration_ns(match.group("total")),
+            }
             continue
-        benches[match.group("name")] = {
-            "mean_ns_per_iter": parse_duration_ns(match.group("per_iter")),
-            "iters": int(match.group("iters")),
-            "total_ns": parse_duration_ns(match.group("total")),
-        }
+        match = ALLOC_LINE.match(line.strip())
+        if match:
+            allocs[match.group("name")] = int(match.group("value"))
     if not benches:
         sys.stderr.write("no benchmark lines found in cargo bench output\n")
+        return 1
+    if not allocs:
+        sys.stderr.write("no alloc metric lines found (alloc_scaling bench missing?)\n")
         return 1
 
     baseline = {
@@ -71,11 +84,12 @@ def main() -> int:
         "budget_ms": args.budget_ms,
         "host": {"machine": platform.machine(), "system": platform.system()},
         "benches": dict(sorted(benches.items())),
+        "allocs": dict(sorted(allocs.items())),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2)
         handle.write("\n")
-    print(f"wrote {len(benches)} baselines to {args.out}")
+    print(f"wrote {len(benches)} timing and {len(allocs)} allocation baselines to {args.out}")
     return 0
 
 

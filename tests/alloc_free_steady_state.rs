@@ -1,0 +1,146 @@
+//! Steady-state allocation accounting.
+//!
+//! The action-buffer refactor's contract is that once a world has warmed up —
+//! every scratch vector grown, every pool primed, the frame slab at its peak —
+//! dispatching further events performs **zero** heap allocations: heartbeats,
+//! id exchanges, back-off broadcasts, receptions, timer re-arms and garbage
+//! collection all cycle through recycled capacity. This test enforces that
+//! contract exactly (not "few allocations": zero), for the frugal protocol
+//! and for the simple-flooding baseline, by counting every heap operation of
+//! the test thread inside a steady-state measurement window.
+//!
+//! The scenario is a stationary full mesh so the steady state is genuinely
+//! steady: no node ever joins or leaves a neighborhood (an arriving neighbor
+//! legitimately allocates its table entry), and the one event published
+//! during warm-up stays valid to the end, keeping id exchange and event
+//! retransmission active inside the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use frugal::{FloodingPolicy, ProtocolConfig};
+use manet_sim::{
+    MobilityKind, ProtocolKind, Publication, PublisherChoice, Scenario, ScenarioBuilder, World,
+};
+use mobility::Area;
+use netsim::RadioConfig;
+use simkit::{SimDuration, SimTime};
+
+/// A `System`-backed allocator that counts this thread's heap operations
+/// (alloc, alloc_zeroed and realloc — frees are not charged) while a
+/// measurement window is open.
+struct CountingAlloc;
+
+thread_local! {
+    static WINDOW: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn charge() {
+    WINDOW.with(|window| {
+        if let Some(count) = window.get() {
+            window.set(Some(count + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        charge();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        charge();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        charge();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the window open and returns how many heap operations it
+/// performed on this thread.
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    WINDOW.with(|window| window.set(Some(0)));
+    f();
+    WINDOW.with(|window| {
+        let count = window.get().expect("measurement window still open");
+        window.set(None);
+        count
+    })
+}
+
+/// A dense stationary full mesh: 12 nodes inside one radio range, all
+/// subscribed, one long-validity event published during warm-up.
+fn steady_scenario(protocol: ProtocolKind) -> Scenario {
+    ScenarioBuilder::new()
+        .label("alloc-steady")
+        .protocol(protocol)
+        .nodes(12)
+        .subscriber_fraction(1.0)
+        .mobility(MobilityKind::Stationary {
+            area: Area::square(80.0),
+        })
+        .radio(RadioConfig::ideal(150.0))
+        .timing(SimDuration::from_secs(2), SimDuration::from_secs(120))
+        .publications(vec![Publication {
+            publisher: PublisherChoice::Node(0),
+            topic: ".news.local".parse().unwrap(),
+            at: SimTime::from_secs(3),
+            validity: SimDuration::from_secs(115),
+            payload_bytes: 400,
+        }])
+        .mobility_tick(SimDuration::from_millis(500))
+        .build()
+        .unwrap()
+}
+
+/// Warms `protocol`'s world up, counts heap operations over a 50-simulated-
+/// second steady-state window, and returns `(allocations, frames_sent)` —
+/// the frame total proving the window actually carried traffic.
+fn steady_state_allocations(protocol: ProtocolKind) -> (u64, u64) {
+    let mut world = World::new(steady_scenario(protocol), 1).unwrap();
+    // Warm-up: grow every scratch buffer, pool and slab to its peak.
+    world.run_until(SimTime::from_secs(60));
+    let allocations = count_allocations(|| world.run_until(SimTime::from_secs(110)));
+    let report = world.run_mut();
+    let frames: u64 = report.nodes.iter().map(|n| n.traffic.frames_sent).sum();
+    (allocations, frames)
+}
+
+#[test]
+fn frugal_steady_state_allocates_nothing() {
+    let (allocations, frames) =
+        steady_state_allocations(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+    assert!(
+        frames > 500,
+        "the mesh must stay busy, sent {frames} frames"
+    );
+    assert_eq!(
+        allocations, 0,
+        "the frugal steady state must be allocation free"
+    );
+}
+
+#[test]
+fn simple_flooding_steady_state_allocates_nothing() {
+    let (allocations, frames) =
+        steady_state_allocations(ProtocolKind::Flooding(FloodingPolicy::Simple));
+    assert!(
+        frames > 500,
+        "the mesh must stay busy, sent {frames} frames"
+    );
+    assert_eq!(
+        allocations, 0,
+        "the flooding steady state must be allocation free"
+    );
+}

@@ -340,6 +340,152 @@ fn timer_wheel_reproduces_pre_refactor_reports_seed_for_seed() {
     }
 }
 
+/// A traffic-dense scenario: 30 stationary nodes packed tightly enough that
+/// every protocol phase fires — heartbeats, event-id exchanges, back-off
+/// dissemination, deliveries, duplicates and garbage collection — across
+/// three overlapping publications on related topics. Used to pin the
+/// action-buffer / SoA node-state refactor, whose changes ride exactly those
+/// per-callback paths.
+fn traffic_dense(protocol: ProtocolKind) -> manet_sim::Scenario {
+    ScenarioBuilder::new()
+        .label("traffic-dense")
+        .protocol(protocol)
+        .nodes(30)
+        .subscriber_fraction(0.8)
+        .mobility(MobilityKind::Stationary {
+            area: Area::square(500.0),
+        })
+        .radio(RadioConfig::ideal(150.0))
+        .timing(SimDuration::from_secs(3), SimDuration::from_secs(48))
+        .publications(vec![
+            Publication {
+                publisher: PublisherChoice::RandomSubscriber,
+                topic: ".news.local".parse().unwrap(),
+                at: SimTime::from_secs(5),
+                validity: SimDuration::from_secs(30),
+                payload_bytes: 400,
+            },
+            Publication {
+                publisher: PublisherChoice::Node(2),
+                topic: ".news.local.sport".parse().unwrap(),
+                at: SimTime::from_secs(9),
+                validity: SimDuration::from_secs(25),
+                payload_bytes: 400,
+            },
+            Publication {
+                publisher: PublisherChoice::RandomSubscriber,
+                topic: ".news".parse().unwrap(),
+                at: SimTime::from_secs(14),
+                validity: SimDuration::from_secs(20),
+                payload_bytes: 400,
+            },
+        ])
+        .build()
+        .unwrap()
+}
+
+/// The moving variant of [`traffic_dense`]: same population and traffic under
+/// random-waypoint mobility, so neighborhoods churn and the new-neighbor
+/// event-id exchange path stays hot.
+fn traffic_dense_moving(protocol: ProtocolKind) -> manet_sim::Scenario {
+    ScenarioBuilder::new()
+        .label("traffic-dense-moving")
+        .protocol(protocol)
+        .nodes(30)
+        .subscriber_fraction(0.8)
+        .mobility(MobilityKind::RandomWaypoint {
+            area: Area::square(500.0),
+            speed_min: 2.0,
+            speed_max: 15.0,
+            pause: SimDuration::from_secs(2),
+        })
+        .radio(RadioConfig::ideal(150.0))
+        .timing(SimDuration::from_secs(3), SimDuration::from_secs(48))
+        .publications(vec![
+            Publication {
+                publisher: PublisherChoice::RandomSubscriber,
+                topic: ".news.local".parse().unwrap(),
+                at: SimTime::from_secs(5),
+                validity: SimDuration::from_secs(30),
+                payload_bytes: 400,
+            },
+            Publication {
+                publisher: PublisherChoice::Node(2),
+                topic: ".news.local.sport".parse().unwrap(),
+                at: SimTime::from_secs(9),
+                validity: SimDuration::from_secs(25),
+                payload_bytes: 400,
+            },
+        ])
+        .build()
+        .unwrap()
+}
+
+/// The action-buffer / SoA node-state refactor (PR 6) must reproduce, seed
+/// for seed, the exact reports the Vec-returning, AoS-node implementation
+/// produced before the refactor. These golden fingerprints were captured from
+/// the pre-refactor implementation (commit de2d24d) on traffic-dense
+/// scenarios covering all four protocol variants; any divergence means the
+/// buffered callbacks, the dense id/bitset membership, or the hot/cold state
+/// split changed message contents, ordering, outcomes, or RNG consumption.
+#[test]
+fn action_buffers_reproduce_pre_refactor_reports_seed_for_seed() {
+    let golden_frugal: [(u64, u64); 3] = [
+        (1, 0x7e18_46c2_518c_f16a),
+        (2, 0x518d_34c5_2277_571f),
+        (3, 0x984d_703c_ab4b_651e),
+    ];
+    let golden_flood_simple: [(u64, u64); 2] =
+        [(1, 0x2728_a5d2_8986_042b), (2, 0x6838_df6b_dcad_ef27)];
+    let golden_flood_interest: (u64, u64) = (1, 0x636e_027c_8b91_3c69);
+    let golden_flood_neighbor: (u64, u64) = (1, 0xc22e_ef37_6492_1dc4);
+    let golden_moving_frugal: [(u64, u64); 2] =
+        [(1, 0xf4ff_3c06_d6e8_143d), (2, 0xbd09_0242_5a12_b289)];
+
+    for (seed, expected) in golden_frugal {
+        let s = traffic_dense(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(
+            got, expected,
+            "traffic-dense frugal report changed for seed {seed}: {got:#018x}"
+        );
+    }
+    for (seed, expected) in golden_flood_simple {
+        let s = traffic_dense(ProtocolKind::Flooding(FloodingPolicy::Simple));
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(
+            got, expected,
+            "traffic-dense simple-flooding report changed for seed {seed}: {got:#018x}"
+        );
+    }
+    {
+        let (seed, expected) = golden_flood_interest;
+        let s = traffic_dense(ProtocolKind::Flooding(FloodingPolicy::InterestAware));
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(
+            got, expected,
+            "traffic-dense interest-aware report changed for seed {seed}: {got:#018x}"
+        );
+    }
+    {
+        let (seed, expected) = golden_flood_neighbor;
+        let s = traffic_dense(ProtocolKind::Flooding(FloodingPolicy::NeighborInterest));
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(
+            got, expected,
+            "traffic-dense neighbor-interest report changed for seed {seed}: {got:#018x}"
+        );
+    }
+    for (seed, expected) in golden_moving_frugal {
+        let s = traffic_dense_moving(ProtocolKind::Frugal(ProtocolConfig::paper_default()));
+        let got = fingerprint(&World::new(s, seed).unwrap().run());
+        assert_eq!(
+            got, expected,
+            "traffic-dense-moving frugal report changed for seed {seed}: {got:#018x}"
+        );
+    }
+}
+
 /// Arena-recycled worlds must reproduce fresh-world reports seed for seed:
 /// `WorldArena::checkout` + `World::reset` may only recycle allocations,
 /// never state. Since PR 4 the recycling is *total* — per-node protocol and
@@ -354,6 +500,8 @@ fn arena_reused_worlds_reproduce_fresh_reports_seed_for_seed() {
         wake_heavy(ProtocolKind::Frugal(ProtocolConfig::paper_default())),
         wake_heavy(ProtocolKind::Flooding(FloodingPolicy::Simple)),
         timer_dense(ProtocolKind::Frugal(ProtocolConfig::paper_default())),
+        traffic_dense(ProtocolKind::Frugal(ProtocolConfig::paper_default())),
+        traffic_dense_moving(ProtocolKind::Flooding(FloodingPolicy::Simple)),
         scenario(
             ProtocolKind::Flooding(FloodingPolicy::NeighborInterest),
             MobilityKind::Stationary {
