@@ -9,7 +9,7 @@
 
 use crate::report::{ExperimentPoint, RunReport};
 use crate::scenario::{Scenario, ScenarioError};
-use crate::world::WorldArena;
+use crate::world::{World, WorldArena};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -141,6 +141,50 @@ pub fn run_scenario_reports_with_workers<F>(
 where
     F: Fn(SeedProgress<'_>) + Sync,
 {
+    run_scenario_reports_configured(scenario, plan, workers, on_seed, |_| {})
+}
+
+/// Like [`run_scenario_reports`], but every world steps its event loop across
+/// `shards` shard threads (see [`World::set_shards`]). Reports are
+/// bit-identical to the single-shard runner for every shard count — sharding
+/// changes wall-clock time, never results. Seed-level parallelism and
+/// shard-level parallelism multiply, so sweeps should split the machine:
+/// `workers × shards ≈ available_parallelism()`.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the scenario fails validation.
+pub fn run_scenario_reports_sharded(
+    scenario: &Scenario,
+    plan: SeedPlan,
+    workers: usize,
+    shards: usize,
+) -> Result<Vec<RunReport>, ScenarioError> {
+    run_scenario_reports_configured(
+        scenario,
+        plan,
+        workers,
+        |_| {},
+        move |world| {
+            world.set_shards(shards);
+        },
+    )
+}
+
+/// The shared seed-sweep pool: `configure` is applied to every checked-out
+/// world before it runs, so callers can flip doc-hidden toggles or the shard
+/// knob without duplicating the work-stealing loop.
+fn run_scenario_reports_configured<F, C>(
+    scenario: &Scenario,
+    plan: SeedPlan,
+    workers: usize,
+    on_seed: F,
+    configure: C,
+) -> Result<Vec<RunReport>, ScenarioError>
+where
+    F: Fn(SeedProgress<'_>) + Sync,
+    C: Fn(&mut World) + Sync,
+{
     scenario.validate()?;
     let seeds: Vec<u64> = plan.seeds().collect();
     if seeds.is_empty() {
@@ -176,6 +220,7 @@ where
                         let world = arena
                             .checkout(scenario, seed)
                             .expect("scenario validated before spawning workers");
+                        configure(world);
                         let report = world.run_mut();
                         let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                         on_seed(SeedProgress {

@@ -42,6 +42,8 @@
 //! free list this makes the steady-state event path allocation free (pinned
 //! by the `alloc_free_steady_state` integration test).
 
+mod shard;
+
 use crate::report::{EventOutcome, NodeReport, RunReport};
 use crate::scenario::{MobilityKind, ProtocolKind, PublisherChoice, Scenario, ScenarioError};
 use frugal::{
@@ -80,8 +82,9 @@ struct PendingFrame {
 
 /// Everything the event loop can be asked to do. Node and frame references
 /// are 32-bit ([`NodeId`] and a frame-slot index), keeping the scheduler's
-/// event payloads dense.
-#[derive(Debug)]
+/// event payloads dense (and `Copy`, so the sharded engine can segment a
+/// drained batch without consuming it).
+#[derive(Debug, Clone, Copy)]
 enum WorldEvent {
     /// Advance every node's position by one mobility tick.
     MobilityTick,
@@ -256,6 +259,13 @@ pub struct World {
     /// `resolve_publisher(RandomSubscriber)` allocates nothing per
     /// publication event; rebuilt by every populate/reset.
     subscriber_cache: Vec<usize>,
+    /// How many worker shards `run_until` splits the node population across
+    /// (1 = the single-threaded reference path). Like the scheduler and
+    /// mobility toggles, the choice survives [`World::reset`].
+    shards: usize,
+    /// Set by [`World::set_single_shard`]: forces the single-threaded
+    /// reference path regardless of the shard knob.
+    force_single_shard: bool,
 }
 
 impl World {
@@ -300,6 +310,8 @@ impl World {
             outcome_scratch: Vec::new(),
             batch_scratch: Vec::new(),
             subscriber_cache: Vec::new(),
+            shards: 1,
+            force_single_shard: false,
         };
         world.populate(seed);
         Ok(world)
@@ -577,6 +589,58 @@ impl World {
         }
     }
 
+    /// Splits the event loop's per-node work across `shards` worker threads
+    /// (clamped to at least 1; 1 keeps the classic single-threaded loop).
+    /// Sharded runs are **bit-identical** to single-threaded ones — same
+    /// reports, same RNG streams — because every random draw and every
+    /// scheduler mutation stays in the sequential dispatch order; only the
+    /// pure per-node work (mobility integration, protocol callbacks,
+    /// reception classification) runs concurrently inside each conservative
+    /// time window (see [`World::lookahead`] and the `world::shard` module).
+    /// Like the scheduler and mobility toggles, the choice survives
+    /// [`World::reset`].
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The configured shard count (see [`World::set_shards`]).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Forces the single-threaded reference event loop regardless of the
+    /// shard knob. Semantically identical to the sharded path (the shard
+    /// equivalence suite pins whole-run reports bit-identical at 1/2/4/8
+    /// shards); kept, like `set_heap_queue`/`set_scan_mobility`, so tests and
+    /// benchmarks can pick the reference explicitly. `false` restores the
+    /// configured shard count. Survives [`World::reset`].
+    #[doc(hidden)]
+    pub fn set_single_shard(&mut self, single: bool) {
+        self.force_single_shard = single;
+    }
+
+    /// The conservative lookahead of parallel simulation for this scenario:
+    /// the minimum virtual time between a node's send decision and any other
+    /// node's reception ([`netsim::RadioConfig::min_latency`] — propagation is
+    /// instantaneous, so this is the air time of the smallest frame, one
+    /// clock millisecond). A frame begun inside one time window of this width
+    /// cannot be heard inside it, so windows of this width can be advanced
+    /// without cross-shard causality violations; with a 1 ms clock the window
+    /// degenerates to exactly one same-timestamp event batch, which is the
+    /// unit the sharded engine forks and joins on.
+    pub fn lookahead(&self) -> SimDuration {
+        self.scenario.radio.min_latency()
+    }
+
+    /// The shard count `run_until` will actually use this run.
+    fn effective_shards(&self) -> usize {
+        if self.force_single_shard {
+            1
+        } else {
+            self.shards.min(self.nodes.len().max(1))
+        }
+    }
+
     /// Runs the simulation to the end of the scenario and returns the report.
     pub fn run(mut self) -> RunReport {
         self.run_mut()
@@ -603,6 +667,10 @@ impl World {
     /// window, and assert over just the steady-state slice; a single
     /// `run_until(end)` is exactly [`World::run_mut`] minus the report.
     pub fn run_until(&mut self, deadline: SimTime) {
+        if self.effective_shards() > 1 && self.mobility_path == MobilityPath::EventDriven {
+            self.run_until_sharded(deadline);
+            return;
+        }
         let deadline = deadline.min(self.end);
         let mut batch = std::mem::take(&mut self.batch_scratch);
         while let Some(at) = self.queue.peek_time() {
@@ -871,21 +939,12 @@ impl World {
     }
 
     fn resolve_publisher(&mut self, choice: PublisherChoice) -> usize {
-        match choice {
-            PublisherChoice::Node(index) => index.min(self.nodes.len() - 1),
-            PublisherChoice::RandomAny => self.mac_rng.index(self.nodes.len()),
-            PublisherChoice::RandomSubscriber => {
-                // The ascending subscriber index is cached by populate (and
-                // therefore refreshed on every reset): resolving a random
-                // subscriber allocates nothing per publication event.
-                if self.subscriber_cache.is_empty() {
-                    self.mac_rng.index(self.nodes.len())
-                } else {
-                    let pick = self.mac_rng.index(self.subscriber_cache.len());
-                    self.subscriber_cache[pick]
-                }
-            }
-        }
+        resolve_publisher_with(
+            choice,
+            self.nodes.len(),
+            &self.subscriber_cache,
+            &mut self.mac_rng,
+        )
     }
 
     /// Drains `out` (the world's reusable action buffer, refilled by the
@@ -893,51 +952,16 @@ impl World {
     /// buffer comes back empty — with its capacity and message-vector pools
     /// intact — ready for the next event.
     fn apply_actions(&mut self, node: NodeId, out: &mut ActionBuf) {
-        for action in out.drain() {
-            match action {
-                Action::Broadcast(message) => {
-                    let jitter = self
-                        .mac_rng
-                        .jitter(self.scenario.radio.max_contention_jitter);
-                    let pending = PendingFrame {
-                        sender: node,
-                        message,
-                    };
-                    let frame = match self.free_frames.pop() {
-                        Some(slot) => {
-                            self.frames[slot as usize] = Some(pending);
-                            slot
-                        }
-                        None => {
-                            let slot =
-                                u32::try_from(self.frames.len()).expect("frame slab exceeds u32");
-                            self.frames.push(Some(pending));
-                            slot
-                        }
-                    };
-                    self.queue
-                        .schedule(self.now + jitter, WorldEvent::TxStart { frame });
-                }
-                Action::Deliver(_) => {
-                    // Delivery bookkeeping lives in the protocol metrics; the
-                    // world has nothing extra to do.
-                }
-                Action::SetTimer { kind, after } => {
-                    if let Some(handle) = self.timer_slots[node.index()][kind.index()].take() {
-                        self.queue.cancel(handle);
-                    }
-                    let handle = self
-                        .queue
-                        .schedule(self.now + after, WorldEvent::Timer { node, kind });
-                    self.timer_slots[node.index()][kind.index()] = Some(handle);
-                }
-                Action::CancelTimer(kind) => {
-                    if let Some(handle) = self.timer_slots[node.index()][kind.index()].take() {
-                        self.queue.cancel(handle);
-                    }
-                }
-            }
+        ActionSink {
+            queue: &mut self.queue,
+            frames: &mut self.frames,
+            free_frames: &mut self.free_frames,
+            timer_slots: &mut self.timer_slots,
+            mac_rng: &mut self.mac_rng,
+            max_jitter: self.scenario.radio.max_contention_jitter,
+            now: self.now,
         }
+        .apply(node, out);
     }
 
     fn report(&self) -> RunReport {
@@ -1009,6 +1033,94 @@ impl World {
             seed: self.seed,
             events,
             nodes,
+        }
+    }
+}
+
+/// The world-side state an action commit mutates, borrowed together so the
+/// single-threaded dispatcher and the sharded engine (which cannot borrow the
+/// whole `World`) run one implementation. Every call consumes MAC randomness
+/// and scheduler sequence numbers, so callers must invoke it in exactly the
+/// sequential dispatch order to keep runs bit-identical.
+struct ActionSink<'a> {
+    queue: &'a mut SchedulerQueue,
+    frames: &'a mut Vec<Option<PendingFrame>>,
+    free_frames: &'a mut Vec<u32>,
+    timer_slots: &'a mut [[Option<EventHandle>; TimerKind::COUNT]],
+    mac_rng: &'a mut SimRng,
+    max_jitter: SimDuration,
+    now: SimTime,
+}
+
+impl ActionSink<'_> {
+    /// See [`World::apply_actions`].
+    fn apply(&mut self, node: NodeId, out: &mut ActionBuf) {
+        for action in out.drain() {
+            match action {
+                Action::Broadcast(message) => {
+                    let jitter = self.mac_rng.jitter(self.max_jitter);
+                    let pending = PendingFrame {
+                        sender: node,
+                        message,
+                    };
+                    let frame = match self.free_frames.pop() {
+                        Some(slot) => {
+                            self.frames[slot as usize] = Some(pending);
+                            slot
+                        }
+                        None => {
+                            let slot =
+                                u32::try_from(self.frames.len()).expect("frame slab exceeds u32");
+                            self.frames.push(Some(pending));
+                            slot
+                        }
+                    };
+                    self.queue
+                        .schedule(self.now + jitter, WorldEvent::TxStart { frame });
+                }
+                Action::Deliver(_) => {
+                    // Delivery bookkeeping lives in the protocol metrics; the
+                    // world has nothing extra to do.
+                }
+                Action::SetTimer { kind, after } => {
+                    if let Some(handle) = self.timer_slots[node.index()][kind.index()].take() {
+                        self.queue.cancel(handle);
+                    }
+                    let handle = self
+                        .queue
+                        .schedule(self.now + after, WorldEvent::Timer { node, kind });
+                    self.timer_slots[node.index()][kind.index()] = Some(handle);
+                }
+                Action::CancelTimer(kind) => {
+                    if let Some(handle) = self.timer_slots[node.index()][kind.index()].take() {
+                        self.queue.cancel(handle);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// See [`World::resolve_publisher`] — shared with the sharded engine.
+fn resolve_publisher_with(
+    choice: PublisherChoice,
+    node_count: usize,
+    subscriber_cache: &[usize],
+    mac_rng: &mut SimRng,
+) -> usize {
+    match choice {
+        PublisherChoice::Node(index) => index.min(node_count - 1),
+        PublisherChoice::RandomAny => mac_rng.index(node_count),
+        PublisherChoice::RandomSubscriber => {
+            // The ascending subscriber index is cached by populate (and
+            // therefore refreshed on every reset): resolving a random
+            // subscriber allocates nothing per publication event.
+            if subscriber_cache.is_empty() {
+                mac_rng.index(node_count)
+            } else {
+                let pick = mac_rng.index(subscriber_cache.len());
+                subscriber_cache[pick]
+            }
         }
     }
 }

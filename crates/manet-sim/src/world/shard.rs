@@ -1,0 +1,1229 @@
+//! Deterministic sharded stepping: one [`World`], many cores, bit-identical
+//! reports.
+//!
+//! # The conservative window collapses to one timestamp batch
+//!
+//! Classic conservative parallel discrete-event simulation advances each
+//! partition inside a time window bounded by the **lookahead** — the minimum
+//! virtual latency between partitions. Here propagation is instantaneous and
+//! the shortest frame occupies the air for one clock millisecond
+//! ([`World::lookahead`]), while every pair of nodes can become neighbors
+//! within a tick — so the conservative window is exactly one millisecond: one
+//! same-timestamp event batch, precisely what the scheduler already drains in
+//! one call. The engine therefore forks and joins **per batch**: it is the
+//! degenerate-but-honest instantiation of windowed conservative stepping for
+//! this model, not an approximation of it.
+//!
+//! # What may run in parallel (and what must not)
+//!
+//! Bit-identity with the single-threaded loop is non-negotiable (the golden
+//! fingerprints and equivalence proptests enforce it), and two global
+//! sequential resources pin the commit order: the MAC RNG (contention jitter,
+//! fringe draws, publisher choice — one draw order) and the scheduler's
+//! sequence numbers (same-timestamp FIFO). Everything touching either is
+//! executed by the coordinator in exact dispatch order. What parallelizes is
+//! the *pure* per-node work, which dominates the per-event cost:
+//!
+//! * mobility integration (each node's position/RNG/pause state is private);
+//! * protocol callbacks (`subscribe`/`handle_timer`/`handle_message` read only
+//!   the acting node's state plus an immutable message — they *emit* actions
+//!   into a buffer instead of touching the world);
+//! * reception classification (pure function of snapshot + positions).
+//!
+//! The proof obligations are local: a protocol callback cannot observe
+//! another node's state; `ActionSink` commits mutate only world-side state
+//! (scheduler, frame slab, timer slots, MAC RNG) that callbacks never read;
+//! same-timestamp `TxStart`s never overlap the `TxEnd`s of the same batch
+//! (overlap requires `start < end` strictly). Timer fire/skip decisions — the
+//! one place a callback's *validity* depends on earlier commits of the same
+//! batch — are replayed on a per-node slot overlay (see [`SlotSim`]), which is
+//! exact because only a node's own actions can touch its slots.
+//!
+//! # Partitioning
+//!
+//! Nodes are split into [`ShardPartition`] contiguous index ranges and each
+//! worker borrows its range of the structure-of-arrays node state
+//! (`split_at_mut` — no copies, no unsafe). Spatial bands were considered and
+//! rejected: with a one-batch window every boundary is "hot" anyway (all
+//! cross-shard traffic routes through the coordinator each batch), so spatial
+//! locality buys nothing that index locality doesn't, and index ranges keep
+//! the hot arrays contiguous per worker. Because ranges are ascending, any
+//! ascending node list splits into per-shard runs whose concatenation — shard
+//! 0 first — restores ascending NodeId order, which is the merge order the
+//! sequential loop uses everywhere.
+//!
+//! # Exchange
+//!
+//! Workers are long-lived within one `run_until` call (`std::thread::scope`)
+//! and exchange work through single-consumer spin-then-park mailboxes
+//! ([`Mailbox`]): a send is a lock push plus an atomic; an idle receiver
+//! spins briefly (`try_lock`, no syscalls) before parking. Round trips are
+//! ~a microsecond, which per-batch parallel work amortizes. Boundary frames
+//! (receivers in other shards) ride a per-window exchange: receivers are
+//! routed to their owning shard, callbacks run in parallel, and the emitted
+//! actions are committed at the coordinator in ascending receiver order —
+//! i.e. drained in (time, seq, NodeId) order, since batches are already
+//! (time, seq)-ordered.
+
+use super::*;
+use netsim::{CompletionSnapshot, RadioConfig, ReceptionClass};
+use simkit::ShardPartition;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+use std::time::Duration;
+
+/// Spin iterations an idle mailbox receiver burns before yielding. At ~1-5 ns
+/// per probe this is tens of microseconds of spinning — longer than any
+/// in-flight batch round trip, so on a machine with a core per shard the hot
+/// path never pays a context switch.
+const SPIN_LIMIT: u32 = 16_384;
+
+/// Yield iterations after the spin phase, before parking. Each yield hands
+/// the timeslice to a runnable peer — on an oversubscribed machine (fewer
+/// cores than shards) this is what lets the sender actually run.
+const YIELD_LIMIT: u32 = 64;
+
+/// The spin budget for this machine: spinning only helps when every shard
+/// can own a core; otherwise the receiver is burning the exact timeslice the
+/// sender needs, so go straight to yielding.
+fn spin_budget(shards: usize) -> u32 {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= shards {
+        SPIN_LIMIT
+    } else {
+        0
+    }
+}
+
+/// Threshold (candidate receivers × overlapping transmissions, an estimate of
+/// classification work) above which reception classification fans out to the
+/// workers. Classification is pure, so this affects speed only — results are
+/// identical at every shard count and every threshold.
+const PARALLEL_CLASSIFY_MIN_WORK: usize = 1_024;
+
+/// A single-consumer mailbox tuned for microsecond fork/join round trips:
+/// senders push under a (shim) mutex and bump an atomic length; the receiver
+/// spins on the length with `try_lock` probes, then parks. The `parked` flag
+/// makes the sender-side unpark conditional, so steady-state sends are one
+/// short critical section plus two atomics.
+struct Mailbox<T> {
+    queue: parking_lot::Mutex<VecDeque<T>>,
+    /// Queued message count, maintained outside the lock so the receiver's
+    /// spin loop does not touch the mutex until there is work.
+    len: AtomicUsize,
+    /// Set while the receiver is parked (or committing to park); senders only
+    /// issue an unpark when they observe it.
+    parked: AtomicBool,
+    /// The receiver thread, registered before its first receive.
+    owner: parking_lot::Mutex<Option<Thread>>,
+}
+
+impl<T> Mailbox<T> {
+    fn new() -> Self {
+        Mailbox {
+            queue: parking_lot::Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+            parked: AtomicBool::new(false),
+            owner: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// Registers the calling thread as the one `recv` will run on. Must be
+    /// called by the receiver before its first `recv`.
+    fn register_owner(&self) {
+        *self.owner.lock() = Some(std::thread::current());
+    }
+
+    fn send(&self, value: T) {
+        self.queue.lock().push_back(value);
+        self.len.fetch_add(1, Ordering::Release);
+        if self.parked.swap(false, Ordering::AcqRel) {
+            if let Some(owner) = self.owner.lock().as_ref() {
+                owner.unpark();
+            }
+        }
+    }
+
+    /// Receives the next message, escalating from spinning through yielding
+    /// to parking (see [`spin_budget`]); panics if `dead` becomes set while
+    /// waiting (a peer thread terminated — without this the join would
+    /// deadlock instead of propagating the peer's panic).
+    fn recv(&self, dead: &AtomicBool, spin: u32) -> T {
+        let mut tries = 0u32;
+        loop {
+            if self.len.load(Ordering::Acquire) > 0 {
+                if let Some(mut queue) = self.queue.try_lock() {
+                    if let Some(value) = queue.pop_front() {
+                        self.len.fetch_sub(1, Ordering::AcqRel);
+                        return value;
+                    }
+                }
+            }
+            tries += 1;
+            if tries <= spin {
+                std::hint::spin_loop();
+            } else if tries <= spin + YIELD_LIMIT {
+                std::thread::yield_now();
+            } else {
+                tries = 0;
+                if dead.load(Ordering::Acquire) {
+                    panic!("a shard peer thread terminated while work was outstanding");
+                }
+                self.parked.store(true, Ordering::Release);
+                if self.len.load(Ordering::Acquire) == 0 {
+                    // A timeout (rather than an unbounded park) keeps the
+                    // `dead` check live even if an unpark is missed.
+                    std::thread::park_timeout(Duration::from_micros(100));
+                }
+                self.parked.store(false, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// One entry of a protocol segment: a `Subscribe` or validated-on-the-worker
+/// `Timer` callback for `node`, with the node's real timer-slot state as of
+/// segment build (identical to its state when the node's first item runs
+/// sequentially, because only a node's own actions mutate its slots).
+struct ProtocolItem {
+    node: u32,
+    slots: [Option<EventHandle>; TimerKind::COUNT],
+    op: ProtocolOp,
+}
+
+enum ProtocolOp {
+    Subscribe(Topic),
+    Timer {
+        kind: TimerKind,
+        handle: EventHandle,
+    },
+}
+
+/// Worker-side simulation of one timer slot across a protocol segment,
+/// mirroring exactly the states the sequential slot table would pass through:
+/// still holding the pre-segment handle, re-armed by an earlier item of this
+/// segment (the new handle is not yet assigned — the commit creates it — but
+/// no event in this batch can carry it either, so `Local` only needs to be
+/// distinguishable), or empty.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotSim {
+    Real(EventHandle),
+    Local,
+    Empty,
+}
+
+/// Per-worker reusable state: the timer-slot overlay of the protocol segment
+/// currently executing.
+#[derive(Default)]
+struct WorkerScratch {
+    overlay: HashMap<u32, [SlotSim; TimerKind::COUNT]>,
+}
+
+/// The worker's verdict and position update for one mobility-advanced node.
+#[derive(Clone, Copy)]
+struct NodeMove {
+    node: u32,
+    position: Point,
+    wake: SimTime,
+}
+
+/// Work the coordinator hands a shard for one phase of the current batch.
+enum Work {
+    /// Advance these owned nodes (ascending) across the current tick.
+    Mobility {
+        now: SimTime,
+        tick: SimDuration,
+        nodes: Vec<u32>,
+    },
+    /// Run a protocol segment's callbacks for the owned items (FIFO order).
+    Protocol {
+        now: SimTime,
+        items: Vec<ProtocolItem>,
+        bufs: Vec<ActionBuf>,
+    },
+    /// Classify one chunk of candidate receivers against a completed frame.
+    Classify {
+        snapshot: Arc<CompletionSnapshot>,
+        config: RadioConfig,
+        receivers: Vec<(u32, Point)>,
+    },
+    /// Deliver a received frame to these owned receivers (ascending).
+    Deliver {
+        now: SimTime,
+        message: Arc<Message>,
+        receivers: Vec<u32>,
+        bufs: Vec<ActionBuf>,
+    },
+    /// Run one publication on an owned node.
+    Publish {
+        now: SimTime,
+        node: u32,
+        topic: Topic,
+        validity: SimDuration,
+        payload_bytes: usize,
+        buf: ActionBuf,
+    },
+    /// Snapshot the owned nodes' protocol metrics (warm-up boundary).
+    Snapshot,
+    /// Tear down: the `run_until` call is over.
+    Exit,
+}
+
+/// A shard's answer, tagged with its shard id by the reply mailbox.
+enum Reply {
+    Mobility {
+        moves: Vec<NodeMove>,
+    },
+    Protocol {
+        fired: Vec<bool>,
+        bufs: Vec<ActionBuf>,
+    },
+    Classify {
+        classes: Vec<Option<ReceptionClass>>,
+    },
+    Deliver {
+        bufs: Vec<ActionBuf>,
+    },
+    Publish {
+        id: EventId,
+        buf: ActionBuf,
+    },
+    Snapshot {
+        metrics: Vec<ProtocolMetrics>,
+    },
+}
+
+/// One shard's exclusive slice of the structure-of-arrays node state:
+/// `nodes[i]` is global node `first + i`.
+struct ShardChunk<'a> {
+    first: usize,
+    nodes: &'a mut [SimNode],
+    last_advance: &'a mut [SimTime],
+    wake_times: &'a mut [SimTime],
+}
+
+/// Mobility phase, worker side: exactly [`World::advance_due_node`] minus the
+/// world-global effects (grid update, wake-queue routing), which the returned
+/// [`NodeMove`]s let the coordinator replay in ascending node order.
+fn do_mobility(
+    chunk: &mut ShardChunk<'_>,
+    now: SimTime,
+    tick: SimDuration,
+    due: &[u32],
+) -> Vec<NodeMove> {
+    due.iter()
+        .map(|&global| {
+            let index = global as usize - chunk.first;
+            let node = &mut chunk.nodes[index];
+            let skipped = now - chunk.last_advance[index];
+            if skipped > tick {
+                node.mobility.advance(skipped - tick, &mut node.rng);
+            }
+            node.mobility.advance(tick, &mut node.rng);
+            chunk.last_advance[index] = now;
+            let speed = node.mobility.speed();
+            let wake = if speed > 0.0 {
+                now
+            } else {
+                now.saturating_add(node.mobility.time_to_transition())
+            };
+            chunk.wake_times[index] = wake;
+            node.protocol.update_speed(Some(speed));
+            NodeMove {
+                node: global,
+                position: node.mobility.position(),
+                wake,
+            }
+        })
+        .collect()
+}
+
+/// Protocol phase, worker side: runs each item's callback into its buffer,
+/// deciding timer fire/skip on the slot overlay. Returns one fired flag per
+/// item (`Subscribe` items always "fire").
+fn do_protocol(
+    chunk: &mut ShardChunk<'_>,
+    scratch: &mut WorkerScratch,
+    now: SimTime,
+    items: &[ProtocolItem],
+    bufs: &mut [ActionBuf],
+) -> Vec<bool> {
+    scratch.overlay.clear();
+    items
+        .iter()
+        .zip(bufs.iter_mut())
+        .map(|(item, buf)| {
+            let overlay = scratch.overlay.entry(item.node).or_insert_with(|| {
+                let mut slots = [SlotSim::Empty; TimerKind::COUNT];
+                for (slot, real) in slots.iter_mut().zip(item.slots) {
+                    if let Some(handle) = real {
+                        *slot = SlotSim::Real(handle);
+                    }
+                }
+                slots
+            });
+            let node = &mut chunk.nodes[item.node as usize - chunk.first];
+            let fired = match &item.op {
+                ProtocolOp::Subscribe(topic) => {
+                    node.protocol.subscribe(topic.clone(), now, buf);
+                    true
+                }
+                ProtocolOp::Timer { kind, handle } => {
+                    if overlay[kind.index()] == SlotSim::Real(*handle) {
+                        overlay[kind.index()] = SlotSim::Empty;
+                        node.protocol.handle_timer(*kind, now, buf);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if fired {
+                // Track what the commit's ActionSink will do to this node's
+                // real slots, so later items of the segment validate against
+                // the state they would have seen sequentially.
+                for action in buf.actions() {
+                    match action {
+                        Action::SetTimer { kind, .. } => overlay[kind.index()] = SlotSim::Local,
+                        Action::CancelTimer(kind) => overlay[kind.index()] = SlotSim::Empty,
+                        _ => {}
+                    }
+                }
+            }
+            fired
+        })
+        .collect()
+}
+
+/// Delivery phase, worker side: `handle_message` for each owned receiver.
+fn do_deliver(
+    chunk: &mut ShardChunk<'_>,
+    now: SimTime,
+    message: &Message,
+    receivers: &[u32],
+    bufs: &mut [ActionBuf],
+) {
+    for (&receiver, buf) in receivers.iter().zip(bufs.iter_mut()) {
+        chunk.nodes[receiver as usize - chunk.first]
+            .protocol
+            .handle_message(message, now, buf);
+    }
+}
+
+/// Warm-up snapshot, worker side.
+fn do_snapshot(chunk: &ShardChunk<'_>) -> Vec<ProtocolMetrics> {
+    chunk
+        .nodes
+        .iter()
+        .map(|node| node.protocol.metrics().clone())
+        .collect()
+}
+
+/// The worker thread: serve phase requests for one shard until `Exit`. The
+/// death flag guard turns a mid-phase panic into a coordinator-visible
+/// signal instead of a join deadlock.
+fn worker_loop(
+    shard: usize,
+    mut chunk: ShardChunk<'_>,
+    inbox: &Mailbox<Work>,
+    replies: &Mailbox<(usize, Reply)>,
+    dead: &AtomicBool,
+    spin: u32,
+) {
+    struct DeathFlag<'a>(&'a AtomicBool);
+    impl Drop for DeathFlag<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+    let _flag = DeathFlag(dead);
+    inbox.register_owner();
+    let mut scratch = WorkerScratch::default();
+    loop {
+        match inbox.recv(dead, spin) {
+            Work::Mobility { now, tick, nodes } => {
+                let moves = do_mobility(&mut chunk, now, tick, &nodes);
+                replies.send((shard, Reply::Mobility { moves }));
+            }
+            Work::Protocol {
+                now,
+                items,
+                mut bufs,
+            } => {
+                let fired = do_protocol(&mut chunk, &mut scratch, now, &items, &mut bufs);
+                replies.send((shard, Reply::Protocol { fired, bufs }));
+            }
+            Work::Classify {
+                snapshot,
+                config,
+                receivers,
+            } => {
+                let classes = receivers
+                    .iter()
+                    .map(|&(receiver, position)| {
+                        snapshot.classify(&config, receiver as usize, position)
+                    })
+                    .collect();
+                // Drop our snapshot clone before replying so the coordinator
+                // can reclaim the buffer with `Arc::try_unwrap`.
+                drop(snapshot);
+                replies.send((shard, Reply::Classify { classes }));
+            }
+            Work::Deliver {
+                now,
+                message,
+                receivers,
+                mut bufs,
+            } => {
+                do_deliver(&mut chunk, now, &message, &receivers, &mut bufs);
+                drop(message);
+                replies.send((shard, Reply::Deliver { bufs }));
+            }
+            Work::Publish {
+                now,
+                node,
+                topic,
+                validity,
+                payload_bytes,
+                mut buf,
+            } => {
+                let id = chunk.nodes[node as usize - chunk.first].protocol.publish(
+                    topic,
+                    validity,
+                    payload_bytes,
+                    now,
+                    &mut buf,
+                );
+                replies.send((shard, Reply::Publish { id, buf }));
+            }
+            Work::Snapshot => {
+                let metrics = do_snapshot(&chunk);
+                replies.send((shard, Reply::Snapshot { metrics }));
+            }
+            Work::Exit => break,
+        }
+    }
+}
+
+/// Splits the node state into per-shard chunks along the partition's ranges.
+fn split_chunks<'a>(
+    part: &ShardPartition,
+    mut nodes: &'a mut [SimNode],
+    mut last_advance: &'a mut [SimTime],
+    mut wake_times: &'a mut [SimTime],
+) -> Vec<ShardChunk<'a>> {
+    let mut chunks = Vec::with_capacity(part.len());
+    let mut first = 0;
+    for shard in 0..part.len() {
+        let width = part.range(shard).len();
+        let (chunk_nodes, rest_nodes) = nodes.split_at_mut(width);
+        let (chunk_last, rest_last) = last_advance.split_at_mut(width);
+        let (chunk_wake, rest_wake) = wake_times.split_at_mut(width);
+        chunks.push(ShardChunk {
+            first,
+            nodes: chunk_nodes,
+            last_advance: chunk_last,
+            wake_times: chunk_wake,
+        });
+        nodes = rest_nodes;
+        last_advance = rest_last;
+        wake_times = rest_wake;
+        first += width;
+    }
+    chunks
+}
+
+impl World {
+    /// The sharded twin of the `run_until` event loop: same batches, same
+    /// dispatch order, same results, with the pure per-node work of each
+    /// batch fanned out to `effective_shards() - 1` scoped worker threads
+    /// (the coordinator doubles as shard 0's worker).
+    pub(super) fn run_until_sharded(&mut self, deadline: SimTime) {
+        let deadline = deadline.min(self.end);
+        // Don't pay thread spawns when nothing is due (or the run is over).
+        match self.queue.peek_time() {
+            Some(at) if at <= deadline => {}
+            _ => return,
+        }
+        let part = ShardPartition::new(self.nodes.len(), self.effective_shards());
+        let radio = self.scenario.radio.clone();
+        let World {
+            scenario,
+            now,
+            queue,
+            nodes,
+            medium,
+            timer_slots,
+            last_advance,
+            wake_times,
+            subscriber_bits,
+            frames,
+            free_frames,
+            mac_rng,
+            published,
+            warmup_metrics,
+            warmup_traffic,
+            sizing,
+            wake_queue,
+            active,
+            active_scratch,
+            wake_scratch,
+            action_buf,
+            batch_scratch,
+            subscriber_cache,
+            end,
+            ..
+        } = self;
+        let mut chunks = split_chunks(&part, nodes, last_advance, wake_times).into_iter();
+        let chunk0 = chunks.next().expect("partition has at least one shard");
+        // The mailboxes and the death flag live outside the scope so their
+        // borrows outlive the scope's implicit join.
+        let dead = AtomicBool::new(false);
+        let replies: Mailbox<(usize, Reply)> = Mailbox::new();
+        replies.register_owner();
+        let inboxes: Vec<Mailbox<Work>> = (1..part.len()).map(|_| Mailbox::new()).collect();
+        std::thread::scope(|scope| {
+            // On every exit path — including a coordinator panic — release the
+            // workers so `scope` can join them instead of deadlocking.
+            struct ExitGuard<'a>(&'a [Mailbox<Work>]);
+            impl Drop for ExitGuard<'_> {
+                fn drop(&mut self) {
+                    for inbox in self.0 {
+                        inbox.send(Work::Exit);
+                    }
+                }
+            }
+            let _exit = ExitGuard(&inboxes);
+            let replies_ref = &replies;
+            let dead_ref = &dead;
+            let spin = spin_budget(part.len());
+            for (index, chunk) in chunks.enumerate() {
+                let inbox = &inboxes[index];
+                scope.spawn(move || {
+                    worker_loop(index + 1, chunk, inbox, replies_ref, dead_ref, spin)
+                });
+            }
+            let mut engine = Engine {
+                scenario,
+                queue,
+                medium,
+                timer_slots,
+                subscriber_bits,
+                frames,
+                free_frames,
+                mac_rng,
+                published,
+                warmup_metrics,
+                warmup_traffic,
+                sizing,
+                wake_queue,
+                active,
+                active_scratch,
+                wake_scratch,
+                action_buf,
+                subscriber_cache,
+                now: *now,
+                end: *end,
+                radio,
+                part,
+                chunk0,
+                scratch0: WorkerScratch::default(),
+                inboxes: &inboxes,
+                replies: &replies,
+                dead: &dead,
+                spin,
+                reply_slots: (0..part.len()).map(|_| None).collect(),
+                buf_pool: Vec::new(),
+                bufvec_pool: Vec::new(),
+                item_lists: (0..part.len()).map(|_| Vec::new()).collect(),
+                snapshot: CompletionSnapshot::default(),
+                candidates: Vec::new(),
+                classes: Vec::new(),
+                received: Vec::new(),
+                due: Vec::new(),
+            };
+            engine.run(deadline, batch_scratch);
+            *now = engine.now;
+        });
+    }
+}
+
+/// The coordinator of one sharded `run_until` call: owns every piece of world
+/// state the commit order serializes (scheduler, medium, RNG, timer table,
+/// frame slab) plus shard 0's node chunk, and drives the per-batch
+/// fork/join against the worker mailboxes.
+struct Engine<'w, 'mb> {
+    scenario: &'w Scenario,
+    queue: &'w mut SchedulerQueue,
+    medium: &'w mut RadioMedium,
+    timer_slots: &'w mut Vec<[Option<EventHandle>; TimerKind::COUNT]>,
+    subscriber_bits: &'w BitSet,
+    frames: &'w mut Vec<Option<PendingFrame>>,
+    free_frames: &'w mut Vec<u32>,
+    mac_rng: &'w mut SimRng,
+    published: &'w mut Vec<PublishedRecord>,
+    warmup_metrics: &'w mut Option<Vec<ProtocolMetrics>>,
+    warmup_traffic: &'w mut Option<Vec<TrafficCounters>>,
+    sizing: &'w ProtocolConfig,
+    wake_queue: &'w mut IndexedMinQueue,
+    active: &'w mut Vec<usize>,
+    active_scratch: &'w mut Vec<usize>,
+    wake_scratch: &'w mut Vec<usize>,
+    action_buf: &'w mut ActionBuf,
+    subscriber_cache: &'w [usize],
+    now: SimTime,
+    end: SimTime,
+    radio: RadioConfig,
+    part: ShardPartition,
+    chunk0: ShardChunk<'w>,
+    scratch0: WorkerScratch,
+    inboxes: &'mb [Mailbox<Work>],
+    replies: &'mb Mailbox<(usize, Reply)>,
+    dead: &'mb AtomicBool,
+    /// Spin budget of this machine (see [`spin_budget`]).
+    spin: u32,
+    /// Replies of the in-flight fork, indexed by shard id.
+    reply_slots: Vec<Option<Reply>>,
+    /// Recycled `ActionBuf`s (with their pooled message vectors) and the
+    /// vectors that carry them to workers and back.
+    buf_pool: Vec<ActionBuf>,
+    bufvec_pool: Vec<Vec<ActionBuf>>,
+    /// Per-shard item lists of the protocol segment being built.
+    item_lists: Vec<Vec<ProtocolItem>>,
+    snapshot: CompletionSnapshot,
+    candidates: Vec<usize>,
+    classes: Vec<Option<ReceptionClass>>,
+    received: Vec<u32>,
+    due: Vec<u32>,
+}
+
+impl Engine<'_, '_> {
+    /// The batch loop — structurally identical to the single-threaded
+    /// `run_until`, with dispatch replaced by segmented fork/join.
+    fn run(&mut self, deadline: SimTime, batch: &mut Vec<(EventHandle, WorldEvent)>) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            self.now = at;
+            batch.clear();
+            self.queue.pop_due_batch(at, batch);
+            let mut index = 0;
+            while index < batch.len() {
+                match batch[index].1 {
+                    WorldEvent::Subscribe { .. } | WorldEvent::Timer { .. } => {
+                        // Maximal run of protocol events: one fork/join.
+                        let mut stop = index + 1;
+                        while stop < batch.len()
+                            && matches!(
+                                batch[stop].1,
+                                WorldEvent::Subscribe { .. } | WorldEvent::Timer { .. }
+                            )
+                        {
+                            stop += 1;
+                        }
+                        self.protocol_segment(&batch[index..stop]);
+                        index = stop;
+                    }
+                    WorldEvent::TxStart { frame } => {
+                        self.on_tx_start(frame);
+                        index += 1;
+                    }
+                    WorldEvent::TxEnd { frame, tx } => {
+                        self.on_tx_end(frame, tx);
+                        index += 1;
+                    }
+                    WorldEvent::MobilityTick => {
+                        self.on_mobility_tick();
+                        index += 1;
+                    }
+                    WorldEvent::Publish { index: publication } => {
+                        self.on_publish(publication);
+                        index += 1;
+                    }
+                    WorldEvent::WarmupEnd => {
+                        self.on_warmup_end();
+                        index += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Commits one node's emitted actions — in the exact sequential order the
+    /// caller guarantees — through the shared [`ActionSink`].
+    fn apply_actions(&mut self, node: NodeId, out: &mut ActionBuf) {
+        ActionSink {
+            queue: &mut *self.queue,
+            frames: &mut *self.frames,
+            free_frames: &mut *self.free_frames,
+            timer_slots: &mut *self.timer_slots,
+            mac_rng: &mut *self.mac_rng,
+            max_jitter: self.radio.max_contention_jitter,
+            now: self.now,
+        }
+        .apply(node, out);
+    }
+
+    /// Blocks until `count` outstanding replies arrived, filing each by shard.
+    fn collect_replies(&mut self, count: usize) {
+        for _ in 0..count {
+            let (shard, reply) = self.replies.recv(self.dead, self.spin);
+            debug_assert!(self.reply_slots[shard].is_none(), "double reply");
+            self.reply_slots[shard] = Some(reply);
+        }
+    }
+
+    fn take_buf(&mut self) -> ActionBuf {
+        self.buf_pool.pop().unwrap_or_default()
+    }
+
+    fn take_bufs(&mut self, count: usize) -> Vec<ActionBuf> {
+        let mut bufs = self.bufvec_pool.pop().unwrap_or_default();
+        debug_assert!(bufs.is_empty());
+        bufs.extend((0..count).map(|_| self.buf_pool.pop().unwrap_or_default()));
+        bufs
+    }
+
+    fn return_bufs(&mut self, mut bufs: Vec<ActionBuf>) {
+        // Committed buffers come back drained; keep them (and their message
+        // pools) for the next phase.
+        self.buf_pool.append(&mut bufs);
+        self.bufvec_pool.push(bufs);
+    }
+
+    /// One maximal run of same-timestamp `Subscribe`/`Timer` events: build
+    /// per-shard item lists (with slot snapshots), fork the callbacks, then
+    /// commit every emitted action in the original FIFO event order.
+    fn protocol_segment(&mut self, events: &[(EventHandle, WorldEvent)]) {
+        let shard_count = self.part.len();
+        let mut item_lists = std::mem::take(&mut self.item_lists);
+        for (handle, event) in events {
+            let (node, op) = match *event {
+                WorldEvent::Subscribe { node } => {
+                    let topic = if self.subscriber_bits.contains(node.index()) {
+                        self.scenario.subscriber_topic.clone()
+                    } else {
+                        self.scenario.bystander_topic.clone()
+                    };
+                    (node, ProtocolOp::Subscribe(topic))
+                }
+                WorldEvent::Timer { node, kind } => (
+                    node,
+                    ProtocolOp::Timer {
+                        kind,
+                        handle: *handle,
+                    },
+                ),
+                _ => unreachable!("protocol segments hold only Subscribe/Timer events"),
+            };
+            item_lists[self.part.owner(node.index())].push(ProtocolItem {
+                node: node.0,
+                slots: self.timer_slots[node.index()],
+                op,
+            });
+        }
+        // Fork: workers first, then shard 0 inline on this thread.
+        let mut outstanding = 0;
+        for (shard, list) in item_lists.iter_mut().enumerate().skip(1) {
+            if list.is_empty() {
+                continue;
+            }
+            let items = std::mem::take(list);
+            let bufs = self.take_bufs(items.len());
+            self.inboxes[shard - 1].send(Work::Protocol {
+                now: self.now,
+                items,
+                bufs,
+            });
+            outstanding += 1;
+        }
+        let mut items0 = std::mem::take(&mut item_lists[0]);
+        let mut bufs0 = self.take_bufs(items0.len());
+        let fired0 = do_protocol(
+            &mut self.chunk0,
+            &mut self.scratch0,
+            self.now,
+            &items0,
+            &mut bufs0,
+        );
+        self.collect_replies(outstanding);
+        // Join: walk the events in FIFO order again, pulling each item's
+        // result from its shard's cursor, and commit.
+        let mut results: Vec<(Vec<bool>, Vec<ActionBuf>)> = Vec::with_capacity(shard_count);
+        results.push((fired0, bufs0));
+        for shard in 1..shard_count {
+            match self.reply_slots[shard].take() {
+                Some(Reply::Protocol { fired, bufs }) => results.push((fired, bufs)),
+                None => results.push((Vec::new(), Vec::new())),
+                Some(_) => unreachable!("mismatched reply kind"),
+            }
+        }
+        let mut cursors = vec![0usize; shard_count];
+        for (handle, event) in events {
+            let node = match *event {
+                WorldEvent::Subscribe { node } | WorldEvent::Timer { node, .. } => node,
+                _ => unreachable!(),
+            };
+            let shard = self.part.owner(node.index());
+            let cursor = cursors[shard];
+            cursors[shard] += 1;
+            let fired = results[shard].0[cursor];
+            if !fired {
+                continue; // skipped stale timer: nothing ran, nothing emitted
+            }
+            if let WorldEvent::Timer { node, kind } = *event {
+                // The overlay fired this timer, which implies no earlier item
+                // of this segment touched the slot — so it still holds this
+                // exact handle, as the sequential fire check would require.
+                debug_assert_eq!(self.timer_slots[node.index()][kind.index()], Some(*handle));
+                self.timer_slots[node.index()][kind.index()] = None;
+            }
+            let mut buf = std::mem::take(&mut results[shard].1[cursor]);
+            self.apply_actions(node, &mut buf);
+            results[shard].1[cursor] = buf;
+        }
+        for (_, bufs) in results {
+            self.return_bufs(bufs);
+        }
+        items0.clear();
+        item_lists[0] = items0;
+        self.item_lists = item_lists;
+    }
+
+    /// Identical to the sequential `on_tx_start` (no per-node work to fork).
+    fn on_tx_start(&mut self, frame: u32) {
+        let (sender, size) = match &self.frames[frame as usize] {
+            Some(pending) => (pending.sender, pending.message.wire_size_bytes(self.sizing)),
+            None => return,
+        };
+        let (tx, ends_at) = self
+            .medium
+            .begin_transmission(sender.index(), size, self.now);
+        self.queue
+            .schedule(ends_at, WorldEvent::TxEnd { frame, tx });
+    }
+
+    /// Frame completion: snapshot + candidate query at the coordinator,
+    /// classification fanned out when heavy, fringe draws and counter updates
+    /// sequential ascending (RNG order), delivery callbacks fanned out to the
+    /// receivers' owners, commits sequential ascending.
+    fn on_tx_end(&mut self, frame: u32, tx: TxId) {
+        let pending = match self.frames[frame as usize].take() {
+            Some(pending) => pending,
+            None => return,
+        };
+        self.free_frames.push(frame);
+        let mut snapshot = std::mem::take(&mut self.snapshot);
+        self.medium.begin_completion(tx, &mut snapshot);
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
+        self.medium
+            .neighbors_into(snapshot.position(), &mut candidates);
+        let mut classes = std::mem::take(&mut self.classes);
+        classes.clear();
+        let parallel = !self.inboxes.is_empty()
+            && candidates.len() * (snapshot.overlap_count() + 1) >= PARALLEL_CLASSIFY_MIN_WORK;
+        if parallel {
+            let shard_count = self.part.len();
+            let chunk = candidates.len().div_ceil(shard_count);
+            let snapshot = Arc::new(snapshot);
+            let mut outstanding = 0;
+            for shard in 1..shard_count {
+                let start = shard * chunk;
+                if start >= candidates.len() {
+                    break;
+                }
+                let stop = (start + chunk).min(candidates.len());
+                let receivers: Vec<(u32, Point)> = candidates[start..stop]
+                    .iter()
+                    .map(|&receiver| (receiver as u32, self.medium.position(receiver)))
+                    .collect();
+                self.inboxes[shard - 1].send(Work::Classify {
+                    snapshot: Arc::clone(&snapshot),
+                    config: self.radio.clone(),
+                    receivers,
+                });
+                outstanding += 1;
+            }
+            for &receiver in &candidates[..chunk.min(candidates.len())] {
+                classes.push(snapshot.classify(
+                    &self.radio,
+                    receiver,
+                    self.medium.position(receiver),
+                ));
+            }
+            self.collect_replies(outstanding);
+            for shard in 1..=outstanding {
+                match self.reply_slots[shard].take() {
+                    Some(Reply::Classify { classes: chunk }) => classes.extend(chunk),
+                    _ => unreachable!("mismatched reply kind"),
+                }
+            }
+            self.snapshot = Arc::try_unwrap(snapshot).unwrap_or_default();
+        } else {
+            for &receiver in &candidates {
+                classes.push(snapshot.classify(
+                    &self.radio,
+                    receiver,
+                    self.medium.position(receiver),
+                ));
+            }
+            self.snapshot = snapshot;
+        }
+        // Sequential half: fringe draws + counters, ascending receiver order.
+        let mut received = std::mem::take(&mut self.received);
+        received.clear();
+        let snapshot_ref = std::mem::take(&mut self.snapshot);
+        for (&receiver, &class) in candidates.iter().zip(classes.iter()) {
+            if let Some(class) = class {
+                let outcome =
+                    self.medium
+                        .resolve_classified(&snapshot_ref, receiver, class, self.mac_rng);
+                if outcome == ReceptionOutcome::Received {
+                    received.push(receiver as u32);
+                }
+            }
+        }
+        self.snapshot = snapshot_ref;
+        if received.is_empty() {
+            self.action_buf.recycle_message(pending.message);
+        } else {
+            self.deliver(&received, pending.message);
+        }
+        self.received = received;
+        self.classes = classes;
+        self.candidates = candidates;
+    }
+
+    /// Routes a received frame to the owning shards of its receivers
+    /// (ascending), runs `handle_message` in parallel, and commits the
+    /// emitted actions in ascending receiver order — the exact sequential
+    /// interleaving, since callbacks draw no randomness.
+    fn deliver(&mut self, received: &[u32], message: Message) {
+        let shard_count = self.part.len();
+        let message = Arc::new(message);
+        // Per-shard contiguous runs of the ascending receiver list.
+        let range0 = self.part.range(0);
+        let split0 = received.partition_point(|&r| (r as usize) < range0.end);
+        let mut outstanding = 0;
+        let mut cursor = split0;
+        for shard in 1..shard_count {
+            let range = self.part.range(shard);
+            let stop = cursor + received[cursor..].partition_point(|&r| (r as usize) < range.end);
+            if stop > cursor {
+                let receivers: Vec<u32> = received[cursor..stop].to_vec();
+                let bufs = self.take_bufs(receivers.len());
+                self.inboxes[shard - 1].send(Work::Deliver {
+                    now: self.now,
+                    message: Arc::clone(&message),
+                    receivers,
+                    bufs,
+                });
+                outstanding += 1;
+            }
+            cursor = stop;
+        }
+        let mut bufs0 = self.take_bufs(split0);
+        do_deliver(
+            &mut self.chunk0,
+            self.now,
+            &message,
+            &received[..split0],
+            &mut bufs0,
+        );
+        self.collect_replies(outstanding);
+        // Commit ascending: shard 0's run first, then each worker shard's.
+        for (index, &receiver) in received[..split0].iter().enumerate() {
+            let mut buf = std::mem::take(&mut bufs0[index]);
+            self.apply_actions(NodeId(receiver), &mut buf);
+            bufs0[index] = buf;
+        }
+        self.return_bufs(bufs0);
+        let mut cursor = split0;
+        for shard in 1..shard_count {
+            let range = self.part.range(shard);
+            let stop = cursor + received[cursor..].partition_point(|&r| (r as usize) < range.end);
+            if stop > cursor {
+                let mut bufs = match self.reply_slots[shard].take() {
+                    Some(Reply::Deliver { bufs }) => bufs,
+                    _ => unreachable!("mismatched reply kind"),
+                };
+                for (index, &receiver) in received[cursor..stop].iter().enumerate() {
+                    let mut buf = std::mem::take(&mut bufs[index]);
+                    self.apply_actions(NodeId(receiver), &mut buf);
+                    bufs[index] = buf;
+                }
+                self.return_bufs(bufs);
+            }
+            cursor = stop;
+        }
+        // All worker clones were dropped before their replies; reclaim the
+        // message's vectors for the next broadcast.
+        if let Ok(message) = Arc::try_unwrap(message) {
+            self.action_buf.recycle_message(message);
+        }
+    }
+
+    /// Mobility tick: due-node discovery and wake-queue routing stay at the
+    /// coordinator (heap order is global state); the advances — the O(due)
+    /// integration work — fan out to the owners.
+    fn on_mobility_tick(&mut self) {
+        let tick = self.scenario.mobility_tick;
+        let now = self.now;
+        let mut woken = std::mem::take(self.wake_scratch);
+        woken.clear();
+        while let Some((_, index)) = self.wake_queue.pop_due(now) {
+            woken.push(index);
+        }
+        woken.sort_unstable();
+        // Merge the (sorted) active and woken lists into one ascending due
+        // list — same order the sequential merge walk advances them in.
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        {
+            let active = &*self.active;
+            let (mut a, mut w) = (0usize, 0usize);
+            loop {
+                match (active.get(a).copied(), woken.get(w).copied()) {
+                    (Some(x), Some(y)) if x < y => {
+                        a += 1;
+                        due.push(x as u32);
+                    }
+                    (_, Some(y)) => {
+                        w += 1;
+                        due.push(y as u32);
+                    }
+                    (Some(x), None) => {
+                        a += 1;
+                        due.push(x as u32);
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        *self.wake_scratch = woken;
+        // Fork the advances along shard boundaries (due is ascending).
+        let shard_count = self.part.len();
+        let split0 = {
+            let range0 = self.part.range(0);
+            due.partition_point(|&i| (i as usize) < range0.end)
+        };
+        let mut outstanding = 0;
+        let mut cursor = split0;
+        for shard in 1..shard_count {
+            let range = self.part.range(shard);
+            let stop = cursor + due[cursor..].partition_point(|&i| (i as usize) < range.end);
+            if stop > cursor {
+                self.inboxes[shard - 1].send(Work::Mobility {
+                    now,
+                    tick,
+                    nodes: due[cursor..stop].to_vec(),
+                });
+                outstanding += 1;
+            }
+            cursor = stop;
+        }
+        let moves0 = do_mobility(&mut self.chunk0, now, tick, &due[..split0]);
+        self.collect_replies(outstanding);
+        // Commit ascending (shard order = node order): grid updates and
+        // active/wake-queue routing, exactly as the sequential walk does.
+        let mut next_active = std::mem::take(self.active_scratch);
+        next_active.clear();
+        let commit =
+            |engine: &mut Engine<'_, '_>, next_active: &mut Vec<usize>, moves: &[NodeMove]| {
+                for entry in moves {
+                    let index = entry.node as usize;
+                    engine.medium.update_position(index, entry.position);
+                    if entry.wake <= now {
+                        next_active.push(index);
+                    } else {
+                        engine.wake_queue.set(index, entry.wake);
+                    }
+                }
+            };
+        commit(self, &mut next_active, &moves0);
+        for shard in 1..shard_count {
+            if let Some(Reply::Mobility { moves }) = self.reply_slots[shard].take() {
+                commit(self, &mut next_active, &moves);
+            }
+        }
+        std::mem::swap(self.active, &mut next_active);
+        *self.active_scratch = next_active;
+        self.due = due;
+        // Schedule the next tick (the sequential loop does this after the
+        // per-path advance).
+        let next = now + tick;
+        if next <= self.end {
+            self.queue.schedule(next, WorldEvent::MobilityTick);
+        }
+    }
+
+    /// Publication: publisher choice draws MAC randomness at the coordinator;
+    /// the publish callback runs on the owning shard; the commit is inline.
+    fn on_publish(&mut self, index: u32) {
+        let publication = self.scenario.publications[index as usize].clone();
+        let publisher = resolve_publisher_with(
+            publication.publisher,
+            self.timer_slots.len(),
+            self.subscriber_cache,
+            self.mac_rng,
+        );
+        let shard = self.part.owner(publisher);
+        let (id, mut buf) = if shard == 0 {
+            let mut buf = self.take_buf();
+            let id = self.chunk0.nodes[publisher - self.chunk0.first]
+                .protocol
+                .publish(
+                    publication.topic.clone(),
+                    publication.validity,
+                    publication.payload_bytes,
+                    self.now,
+                    &mut buf,
+                );
+            (id, buf)
+        } else {
+            let buf = self.take_buf();
+            self.inboxes[shard - 1].send(Work::Publish {
+                now: self.now,
+                node: publisher as u32,
+                topic: publication.topic.clone(),
+                validity: publication.validity,
+                payload_bytes: publication.payload_bytes,
+                buf,
+            });
+            self.collect_replies(1);
+            match self.reply_slots[shard].take() {
+                Some(Reply::Publish { id, buf }) => (id, buf),
+                _ => unreachable!("mismatched reply kind"),
+            }
+        };
+        self.published.push(PublishedRecord {
+            id,
+            publisher,
+            topic: publication.topic,
+        });
+        self.apply_actions(NodeId::from_index(publisher), &mut buf);
+        self.buf_pool.push(buf);
+    }
+
+    /// Warm-up boundary: metrics snapshots fan out; shard order concatenation
+    /// restores ascending node order.
+    fn on_warmup_end(&mut self) {
+        for inbox in self.inboxes {
+            inbox.send(Work::Snapshot);
+        }
+        let mut metrics = do_snapshot(&self.chunk0);
+        self.collect_replies(self.inboxes.len());
+        for shard in 1..self.part.len() {
+            match self.reply_slots[shard].take() {
+                Some(Reply::Snapshot { metrics: chunk }) => metrics.extend(chunk),
+                _ => unreachable!("mismatched reply kind"),
+            }
+        }
+        *self.warmup_metrics = Some(metrics);
+        *self.warmup_traffic = Some(self.medium.all_counters().to_vec());
+    }
+}

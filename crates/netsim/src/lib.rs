@@ -45,5 +45,7 @@ pub mod propagation;
 pub mod radio;
 
 pub use grid::SpatialGrid;
-pub use medium::{RadioMedium, ReceptionOutcome, TrafficCounters, TxId};
+pub use medium::{
+    CompletionSnapshot, RadioMedium, ReceptionClass, ReceptionOutcome, TrafficCounters, TxId,
+};
 pub use radio::{BitRate, RadioConfig};

@@ -84,6 +84,103 @@ pub enum ReceptionOutcome {
     SelfBusy,
 }
 
+/// RNG-free classification of one receiver against a completed transmission:
+/// everything about the outcome that does not need the loss draw. Produced by
+/// [`CompletionSnapshot::classify`], turned into a [`ReceptionOutcome`] (and
+/// counter updates) by [`RadioMedium::resolve_classified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceptionClass {
+    /// The receiver was itself on the air during the frame (half duplex).
+    SelfBusy,
+    /// Another transmission audible at the receiver overlapped the frame.
+    Collided,
+    /// In range and clear, but in the outer fringe of the disc: reception
+    /// still needs the statistical loss draw.
+    FringeCandidate,
+    /// In range, clear, and inside the reliable part of the disc.
+    Clear,
+}
+
+/// Sender and position of one transmission that overlapped a completed frame
+/// in time — the only facts classification needs about an interferer.
+#[derive(Debug, Clone, Copy)]
+struct OverlapTx {
+    sender: usize,
+    position: Point,
+}
+
+/// A completed transmission detached from the medium, together with the set of
+/// transmissions that overlapped it in time. The receiver-independent half of
+/// reception resolution: [`CompletionSnapshot::classify`] is pure (`&self`, no
+/// RNG), so a caller may classify many candidate receivers concurrently and
+/// then feed the classes back through [`RadioMedium::resolve_classified`] in
+/// ascending node order for bit-identical outcomes, counters and RNG use.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionSnapshot {
+    sender: usize,
+    position: Point,
+    payload_bytes: usize,
+    overlaps: Vec<OverlapTx>,
+}
+
+impl CompletionSnapshot {
+    /// The transmitting node.
+    pub fn sender(&self) -> usize {
+        self.sender
+    }
+
+    /// Where the frame was transmitted from.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Payload size of the frame in bytes (excluding per-frame overhead).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Number of transmissions that overlapped this frame in time.
+    pub fn overlap_count(&self) -> usize {
+        self.overlaps.len()
+    }
+
+    /// Classifies reception of this frame at `receiver` located at `rx_pos`.
+    /// Returns `None` when the receiver is the sender or out of range (no
+    /// outcome is recorded for it at all).
+    pub fn classify(
+        &self,
+        config: &RadioConfig,
+        receiver: usize,
+        rx_pos: Point,
+    ) -> Option<ReceptionClass> {
+        if receiver == self.sender {
+            return None;
+        }
+        let distance = self.position.distance(rx_pos);
+        if distance > config.range_m {
+            return None;
+        }
+        // Half duplex: the receiver was itself on the air during the frame.
+        if self.overlaps.iter().any(|t| t.sender == receiver) {
+            return Some(ReceptionClass::SelfBusy);
+        }
+        // Collision: another transmission audible at the receiver overlapped.
+        let collided = self
+            .overlaps
+            .iter()
+            .any(|t| t.sender != receiver && t.position.distance(rx_pos) <= config.range_m);
+        if collided {
+            return Some(ReceptionClass::Collided);
+        }
+        let fringe_start = config.range_m * config.fringe_start_fraction;
+        if distance > fringe_start {
+            Some(ReceptionClass::FringeCandidate)
+        } else {
+            Some(ReceptionClass::Clear)
+        }
+    }
+}
+
 /// The shared wireless broadcast channel.
 #[derive(Debug)]
 pub struct RadioMedium {
@@ -98,6 +195,12 @@ pub struct RadioMedium {
     next_tx: u64,
     /// Scratch buffer for grid queries, reused across completions.
     candidates: Vec<usize>,
+    /// Longest air time of any frame begun so far — the interference horizon
+    /// used by pruning: a completed frame older than this cannot overlap
+    /// anything still pending.
+    max_air: SimDuration,
+    /// Scratch snapshot reused by the all-in-one completion paths.
+    snapshot: CompletionSnapshot,
 }
 
 impl RadioMedium {
@@ -119,6 +222,8 @@ impl RadioMedium {
             counters: vec![TrafficCounters::default(); node_count],
             next_tx: 0,
             candidates: Vec::new(),
+            max_air: SimDuration::ZERO,
+            snapshot: CompletionSnapshot::default(),
         }
     }
 
@@ -144,6 +249,7 @@ impl RadioMedium {
         self.transmissions.clear();
         self.tx_index.clear();
         self.next_tx = 0;
+        self.max_air = SimDuration::ZERO;
     }
 
     /// The radio configuration shared by all nodes.
@@ -222,7 +328,11 @@ impl RadioMedium {
         self.prune(now);
         let id = TxId(self.next_tx);
         self.next_tx += 1;
-        let end = now + self.config.air_time(payload_bytes);
+        let air = self.config.air_time(payload_bytes);
+        if air > self.max_air {
+            self.max_air = air;
+        }
+        let end = now + air;
         self.tx_index.insert(id, self.transmissions.len());
         self.transmissions.push(Transmission {
             id,
@@ -274,12 +384,14 @@ impl RadioMedium {
         rng: &mut SimRng,
         outcomes: &mut Vec<(usize, ReceptionOutcome)>,
     ) {
-        let current = self.take_current(tx);
+        let mut snapshot = std::mem::take(&mut self.snapshot);
+        self.begin_completion(tx, &mut snapshot);
         let mut candidates = std::mem::take(&mut self.candidates);
         self.grid
-            .query_into(current.position, self.config.range_m, &mut candidates);
-        self.resolve_receivers(&current, &candidates, rng, outcomes);
+            .query_into(snapshot.position, self.config.range_m, &mut candidates);
+        self.resolve_candidates(&snapshot, &candidates, rng, outcomes);
         self.candidates = candidates;
+        self.snapshot = snapshot;
     }
 
     /// The pre-grid reference path: resolves reception by scanning **all**
@@ -292,106 +404,125 @@ impl RadioMedium {
         tx: TxId,
         rng: &mut SimRng,
     ) -> Vec<(usize, ReceptionOutcome)> {
-        let current = self.take_current(tx);
+        let mut snapshot = std::mem::take(&mut self.snapshot);
+        self.begin_completion(tx, &mut snapshot);
         let everyone: Vec<usize> = (0..self.counters.len()).collect();
         let mut outcomes = Vec::new();
-        self.resolve_receivers(&current, &everyone, rng, &mut outcomes);
+        self.resolve_candidates(&snapshot, &everyone, rng, &mut outcomes);
+        self.snapshot = snapshot;
         outcomes
     }
 
-    /// Marks `tx` completed and returns a copy of its record.
-    fn take_current(&mut self, tx: TxId) -> Transmission {
+    /// Marks `tx` completed and captures it into `out` together with every
+    /// transmission that overlapped it in time. `out` is fully overwritten.
+    /// The snapshot half of completion: pair it with
+    /// [`CompletionSnapshot::classify`] per candidate receiver (any order, any
+    /// thread) and [`RadioMedium::resolve_classified`] in ascending node order
+    /// to get exactly what [`RadioMedium::complete_transmission_into`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is unknown or already completed.
+    pub fn begin_completion(&mut self, tx: TxId, out: &mut CompletionSnapshot) {
         let idx = *self.tx_index.get(&tx).expect("unknown transmission id");
         assert!(
             !self.transmissions[idx].completed,
             "transmission completed twice"
         );
         self.transmissions[idx].completed = true;
-        self.transmissions[idx].clone()
+        let current = &self.transmissions[idx];
+        out.sender = current.sender;
+        out.position = current.position;
+        out.payload_bytes = current.payload_bytes;
+        let (id, start, end) = (current.id, current.start, current.end);
+        out.overlaps.clear();
+        out.overlaps.extend(
+            self.transmissions
+                .iter()
+                .filter(|t| t.id != id && t.start < end && t.end > start)
+                .map(|t| OverlapTx {
+                    sender: t.sender,
+                    position: t.position,
+                }),
+        );
     }
 
-    /// Resolves reception of `current` at each of `receivers` (ascending node
-    /// index), skipping the sender and nodes beyond the radio range, and
-    /// updates the traffic counters.
-    fn resolve_receivers(
+    /// Grid neighborhood query at the medium's radio range: appends every node
+    /// within range of `position` (plus some of the surrounding cells) to
+    /// `out` in ascending node index. `out` is **not** cleared first.
+    pub fn neighbors_into(&self, position: Point, out: &mut Vec<usize>) {
+        self.grid.query_into(position, self.config.range_m, out);
+    }
+
+    /// Classifies and resolves each of `receivers` (ascending node index)
+    /// against `snapshot`, updating counters and consuming the RNG exactly
+    /// like the all-in-one completion paths.
+    fn resolve_candidates(
         &mut self,
-        current: &Transmission,
+        snapshot: &CompletionSnapshot,
         receivers: &[usize],
         rng: &mut SimRng,
         outcomes: &mut Vec<(usize, ReceptionOutcome)>,
     ) {
         for &receiver in receivers {
-            if receiver == current.sender {
-                continue;
-            }
             let rx_pos = self.grid.position(receiver);
-            let distance = current.position.distance(rx_pos);
-            if distance > self.config.range_m {
+            let Some(class) = snapshot.classify(&self.config, receiver, rx_pos) else {
                 continue;
-            }
-            let outcome = self.resolve_reception(current, receiver, rx_pos, distance, rng);
-            let wire = self.config.wire_bytes(current.payload_bytes);
-            let counters = &mut self.counters[receiver];
-            match outcome {
-                ReceptionOutcome::Received => {
-                    counters.frames_received += 1;
-                    counters.bytes_received += wire;
-                }
-                ReceptionOutcome::Collided | ReceptionOutcome::SelfBusy => {
-                    counters.frames_lost_collision += 1;
-                }
-                ReceptionOutcome::FringeLoss => {
-                    counters.frames_lost_fringe += 1;
-                }
-            }
+            };
+            let outcome = self.resolve_classified(snapshot, receiver, class, rng);
             outcomes.push((receiver, outcome));
         }
     }
 
-    fn resolve_reception(
-        &self,
-        current: &Transmission,
+    /// Turns a [`ReceptionClass`] into the final [`ReceptionOutcome`] for
+    /// `receiver`: draws the fringe loss chance where needed and updates the
+    /// receiver's traffic counters. Callers resolving one frame at several
+    /// receivers must do so in ascending node index to keep the RNG stream —
+    /// and therefore whole-simulation reports — deterministic.
+    pub fn resolve_classified(
+        &mut self,
+        snapshot: &CompletionSnapshot,
         receiver: usize,
-        rx_pos: Point,
-        distance: f64,
+        class: ReceptionClass,
         rng: &mut SimRng,
     ) -> ReceptionOutcome {
-        // Half duplex: the receiver was itself on the air during the frame.
-        let self_busy = self.transmissions.iter().any(|t| {
-            t.id != current.id
-                && t.sender == receiver
-                && t.start < current.end
-                && t.end > current.start
-        });
-        if self_busy {
-            return ReceptionOutcome::SelfBusy;
+        let outcome = match class {
+            ReceptionClass::SelfBusy => ReceptionOutcome::SelfBusy,
+            ReceptionClass::Collided => ReceptionOutcome::Collided,
+            ReceptionClass::FringeCandidate => {
+                if rng.chance(self.config.fringe_loss_probability) {
+                    ReceptionOutcome::FringeLoss
+                } else {
+                    ReceptionOutcome::Received
+                }
+            }
+            ReceptionClass::Clear => ReceptionOutcome::Received,
+        };
+        let counters = &mut self.counters[receiver];
+        match outcome {
+            ReceptionOutcome::Received => {
+                counters.frames_received += 1;
+                counters.bytes_received += self.config.wire_bytes(snapshot.payload_bytes);
+            }
+            ReceptionOutcome::Collided | ReceptionOutcome::SelfBusy => {
+                counters.frames_lost_collision += 1;
+            }
+            ReceptionOutcome::FringeLoss => {
+                counters.frames_lost_fringe += 1;
+            }
         }
-        // Collision: another transmission audible at the receiver overlapped.
-        let collided = self.transmissions.iter().any(|t| {
-            t.id != current.id
-                && t.sender != receiver
-                && t.start < current.end
-                && t.end > current.start
-                && t.position.distance(rx_pos) <= self.config.range_m
-        });
-        if collided {
-            return ReceptionOutcome::Collided;
-        }
-        // Fringe loss in the outer part of the disc.
-        let fringe_start = self.config.range_m * self.config.fringe_start_fraction;
-        if distance > fringe_start && rng.chance(self.config.fringe_loss_probability) {
-            return ReceptionOutcome::FringeLoss;
-        }
-        ReceptionOutcome::Received
+        outcome
     }
 
     /// Drops completed transmissions that can no longer interfere with frames
     /// starting at or after `now`, and rebuilds the id index if anything moved.
     fn prune(&mut self, now: SimTime) {
-        // Keep a generous guard window: nothing on the air lasts longer than the
-        // air time of the largest frame we will ever see (a few ms); 10 s is
-        // far beyond any interference horizon.
-        let horizon = SimDuration::from_secs(10);
+        // A completed frame only matters as an interferer for a transmission
+        // that overlaps it in time, and no pending transmission begun before
+        // `now` can have started earlier than `now - max_air`. Anything that
+        // ended before that (with a 1 ms margin for the strict/loose
+        // inequality mix) can never be consulted again.
+        let horizon = self.max_air + SimDuration::from_millis(1);
         let before = self.transmissions.len();
         self.transmissions
             .retain(|t| !t.completed || t.end + horizon > now);

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare fresh criterion-shim benchmark numbers against BENCH_BASELINE.json.
+
+Runs ``cargo bench`` (or parses a saved log with ``--input``) with the same
+report format ``scripts/capture_bench_baseline.py`` captures::
+
+    bench <group>/<id>: <duration>/iter (<iters> iters in <total>)
+    alloc <group>/<id>: <value>
+
+and diffs every timing entry against the committed baseline. Shim numbers
+are wall-clock on a shared machine, so the comparison is ratio-based with a
+generous noise tolerance (default ±30%): a benchmark only counts as a
+regression when it runs slower than ``baseline * (1 + tolerance)``.
+
+Exit status is non-zero iff at least one timing entry regressed beyond the
+tolerance. Everything else — improvements, new benchmarks absent from the
+baseline, baseline entries that no longer run, and allocation-metric drift
+(allocation counts are exact, not noisy, but they gate via their own tests,
+not here) — is reported as information or a warning only.
+
+Usage:
+    python3 scripts/compare_bench_baseline.py [--baseline FILE]
+        [--budget-ms N] [--tolerance F] [--input LOG]
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+LINE = re.compile(r"^bench (?P<name>\S+): (?P<per_iter>\S+)/iter \((?P<iters>\d+) iters in (?P<total>\S+)\)$")
+ALLOC_LINE = re.compile(r"^alloc (?P<name>\S+): (?P<value>-?[0-9]+)$")
+DURATION = re.compile(r"^(?P<value>[0-9.]+)(?P<unit>ns|µs|us|ms|s)$")
+UNIT_NS = {"ns": 1, "µs": 1_000, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+
+
+def parse_duration_ns(text: str) -> float:
+    match = DURATION.match(text)
+    if not match:
+        raise ValueError(f"unparseable duration {text!r}")
+    return float(match.group("value")) * UNIT_NS[match.group("unit")]
+
+
+def parse_report(text: str):
+    benches = {}
+    allocs = {}
+    for line in text.splitlines():
+        match = LINE.match(line.strip())
+        if match:
+            benches[match.group("name")] = parse_duration_ns(match.group("per_iter"))
+            continue
+        match = ALLOC_LINE.match(line.strip())
+        if match:
+            allocs[match.group("name")] = int(match.group("value"))
+    return benches, allocs
+
+
+def fmt_ms(ns: float) -> str:
+    return f"{ns / 1e6:10.3f}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_BASELINE.json")
+    parser.add_argument("--budget-ms", type=int, default=200,
+                        help="per-benchmark measurement budget (CRITERION_SHIM_MS)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed slowdown ratio before an entry counts as regressed")
+    parser.add_argument("--input", default=None,
+                        help="parse a saved cargo bench log instead of running cargo bench")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base_benches = {name: entry["mean_ns_per_iter"]
+                    for name, entry in baseline.get("benches", {}).items()}
+    base_allocs = baseline.get("allocs", {})
+
+    if args.input:
+        with open(args.input, encoding="utf-8") as handle:
+            output = handle.read()
+    else:
+        env = dict(os.environ, CRITERION_SHIM_MS=str(args.budget_ms))
+        print(f"running cargo bench (budget {args.budget_ms} ms per benchmark)...", flush=True)
+        proc = subprocess.run(["cargo", "bench"], env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout[-4000:] + proc.stderr[-4000:])
+            return proc.returncode
+        output = proc.stdout
+
+    benches, allocs = parse_report(output)
+    if not benches:
+        sys.stderr.write("no benchmark lines found\n")
+        return 1
+
+    regressed = []
+    improved = []
+    print(f"{'benchmark':48} {'base ms':>10} {'now ms':>10} {'ratio':>7}  verdict")
+    for name in sorted(benches):
+        now = benches[name]
+        base = base_benches.get(name)
+        if base is None:
+            print(f"{name:48} {'-':>10} {fmt_ms(now)} {'-':>7}  new (no baseline)")
+            continue
+        ratio = now / base if base else float("inf")
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSED"
+            regressed.append((name, ratio))
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "improved"
+            improved.append((name, ratio))
+        else:
+            verdict = "ok"
+        print(f"{name:48} {fmt_ms(base)} {fmt_ms(now)} {ratio:7.2f}  {verdict}")
+    for name in sorted(set(base_benches) - set(benches)):
+        print(f"{name:48} {fmt_ms(base_benches[name])} {'-':>10} {'-':>7}  missing from this run")
+
+    for name in sorted(set(allocs) | set(base_allocs)):
+        base, now = base_allocs.get(name), allocs.get(name)
+        if base is None or now is None or base != now:
+            sys.stderr.write(
+                f"warning: alloc metric {name} drifted: baseline {base} -> now {now}\n")
+
+    print(f"\n{len(benches)} benchmarks: {len(regressed)} regressed, "
+          f"{len(improved)} improved beyond ±{args.tolerance:.0%} tolerance")
+    if regressed:
+        for name, ratio in regressed:
+            sys.stderr.write(f"REGRESSION: {name} is {ratio:.2f}x baseline\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,17 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attempts to acquire the lock without blocking; `None` if it is
+    /// currently held. Matches upstream `parking_lot`'s `Option`-returning
+    /// signature (a poisoned lock counts as available, like [`Mutex::lock`]).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -70,6 +81,26 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Attempts shared read access without blocking; `None` if a writer holds
+    /// the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking; `None` if the lock
+    /// is held.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
@@ -95,5 +126,35 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() += 1;
         assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_is_non_blocking() {
+        let m = Mutex::new(1u32);
+        {
+            let held = m.lock();
+            assert!(m.try_lock().is_none(), "held lock must not be re-entered");
+            drop(held);
+        }
+        *m.try_lock().expect("free lock acquires") += 1;
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(7u32);
+        {
+            let reader = l.read();
+            assert!(l.try_read().is_some(), "readers share");
+            assert!(l.try_write().is_none(), "writer excluded by reader");
+            drop(reader);
+        }
+        *l.try_write().expect("free lock acquires") += 1;
+        {
+            let writer = l.write();
+            assert!(l.try_read().is_none(), "reader excluded by writer");
+            drop(writer);
+        }
+        assert_eq!(l.into_inner(), 8);
     }
 }
