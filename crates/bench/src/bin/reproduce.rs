@@ -4,6 +4,9 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin reproduce -- [EXPERIMENT] [--paper] [--csv]
+//! cargo run --release -p bench --bin reproduce -- --scenario FILE.toml \
+//!     [--sweep param=v1,v2]... [--seeds N] [--first-seed N] \
+//!     [--workers N] [--shards N] [--csv]
 //! ```
 //!
 //! `EXPERIMENT` is one of `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`,
@@ -12,9 +15,19 @@
 //! configurations are used (seconds to minutes); with `--paper` the paper's
 //! full methodology runs (150 nodes, 30 seeds — hours). `--csv` prints CSV
 //! instead of Markdown.
+//!
+//! `--scenario` switches to the declarative path: the TOML file is compiled
+//! into an experiment matrix (see `manet_sim::scenario_compile` for the
+//! schema and `examples/*.toml` for worked files), every point runs through
+//! the sharded multi-seed runner, and one table is printed with a row per
+//! matrix point. `--sweep param=v1,v2` adds a sweep axis from the command
+//! line (repeatable; overrides a file axis sweeping the same parameter), and
+//! `--seeds` / `--first-seed` override the file's `[seeds]` section.
 
 use manet_sim::experiments::{ablation, city, fig11, fig12, frugality};
-use manet_sim::DataTable;
+use manet_sim::{
+    compile_path, run_scenario_reports_sharded, DataTable, ExperimentPoint, SweepAxis,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Scale {
@@ -130,6 +143,158 @@ fn run_ablation(scale: Scale, format: Format) {
     }
 }
 
+/// Options of the `--scenario` mode, collected from the command line.
+#[derive(Debug)]
+struct ScenarioArgs {
+    path: String,
+    sweeps: Vec<SweepAxis>,
+    seeds: Option<u64>,
+    first_seed: Option<u64>,
+    workers: usize,
+    shards: usize,
+}
+
+/// Parses the arguments that follow `--scenario`. Exits with a diagnostic on
+/// a malformed flag, mirroring the unknown-experiment path.
+fn parse_scenario_args(args: &[String]) -> ScenarioArgs {
+    fn value_of<'a>(args: &'a [String], index: usize, flag: &str) -> &'a str {
+        args.get(index + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    }
+    fn numeric<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+        text.parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: `{text}` is not a valid value");
+            std::process::exit(2);
+        })
+    }
+    let mut options = ScenarioArgs {
+        path: String::new(),
+        sweeps: Vec::new(),
+        seeds: None,
+        first_seed: None,
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        shards: 1,
+    };
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--scenario" => {
+                options.path = value_of(args, index, "--scenario").to_owned();
+                index += 2;
+            }
+            "--sweep" => {
+                let spec = value_of(args, index, "--sweep");
+                match spec.parse::<SweepAxis>() {
+                    Ok(axis) => options.sweeps.push(axis),
+                    Err(err) => {
+                        eprintln!("--sweep: {err}");
+                        std::process::exit(2);
+                    }
+                }
+                index += 2;
+            }
+            "--seeds" => {
+                options.seeds = Some(numeric(value_of(args, index, "--seeds"), "--seeds"));
+                index += 2;
+            }
+            "--first-seed" => {
+                options.first_seed = Some(numeric(
+                    value_of(args, index, "--first-seed"),
+                    "--first-seed",
+                ));
+                index += 2;
+            }
+            "--workers" => {
+                options.workers =
+                    numeric::<usize>(value_of(args, index, "--workers"), "--workers").max(1);
+                index += 2;
+            }
+            "--shards" => {
+                options.shards =
+                    numeric::<usize>(value_of(args, index, "--shards"), "--shards").max(1);
+                index += 2;
+            }
+            "--csv" | "--paper" => index += 1,
+            other => {
+                eprintln!("unknown flag {other:?} in --scenario mode");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+/// Compiles and runs a scenario file, printing one table with a row per
+/// matrix point.
+fn run_scenario_file(options: &ScenarioArgs, format: Format) {
+    let matrix = match compile_path(&options.path, &options.sweeps) {
+        Ok(matrix) => matrix,
+        Err(err) => {
+            eprintln!("{}: {err}", options.path);
+            std::process::exit(1);
+        }
+    };
+    let mut plan = matrix.seeds;
+    if let Some(first) = options.first_seed {
+        plan.first_seed = first;
+    }
+    if let Some(runs) = options.seeds {
+        plan.runs = runs;
+    }
+    eprintln!(
+        "# {}: {} matrix point(s), {} seed(s) each, {} worker(s), {} shard(s)",
+        matrix.label,
+        matrix.points.len(),
+        plan.runs,
+        options.workers,
+        options.shards
+    );
+    let mut table = DataTable::new(
+        format!("Scenario `{}` ({})", matrix.label, options.path),
+        "point",
+        vec![
+            "reliability".into(),
+            "ci95".into(),
+            "events sent".into(),
+            "duplicates/process".into(),
+            "parasites/process".into(),
+            "bandwidth [kB/process]".into(),
+        ],
+    );
+    for point in &matrix.points {
+        let reports = match run_scenario_reports_sharded(
+            &point.scenario,
+            plan,
+            options.workers,
+            options.shards,
+        ) {
+            Ok(reports) => reports,
+            Err(err) => {
+                eprintln!("{}: point `{}` failed: {err}", options.path, point.label);
+                std::process::exit(1);
+            }
+        };
+        let mut aggregate = ExperimentPoint::new();
+        for report in &reports {
+            aggregate.add(report);
+        }
+        table.push_row(
+            point.label.clone(),
+            vec![
+                aggregate.reliability().mean,
+                aggregate.reliability().ci95_half_width(),
+                aggregate.events_sent().mean,
+                aggregate.duplicates().mean,
+                aggregate.parasites().mean,
+                aggregate.bandwidth_kb().mean,
+            ],
+        );
+    }
+    print_table(&table, format);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--paper") {
@@ -142,6 +307,11 @@ fn main() {
     } else {
         Format::Markdown
     };
+    if args.iter().any(|a| a == "--scenario") {
+        let options = parse_scenario_args(&args);
+        run_scenario_file(&options, format);
+        return;
+    }
     let experiment = args
         .iter()
         .find(|a| !a.starts_with("--"))

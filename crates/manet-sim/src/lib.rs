@@ -14,6 +14,9 @@
 //!   runs);
 //! * [`experiments`] — one module per figure of the paper's evaluation
 //!   (Fig. 11–20) plus design-choice ablations;
+//! * [`scenario_compile`] — the declarative scenario compiler: a TOML file
+//!   (with optional parameter-sweep axes) compiled into an experiment matrix
+//!   of [`Scenario`]s, driven by `reproduce --scenario`;
 //! * [`output`] — Markdown/CSV tables for the regenerated figures.
 //!
 //! # Examples
@@ -63,6 +66,7 @@ pub mod output;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod scenario_compile;
 pub mod world;
 
 pub use output::DataTable;
@@ -74,5 +78,9 @@ pub use runner::{
 pub use scenario::{
     MobilityKind, ProtocolKind, Publication, PublisherChoice, Scenario, ScenarioBuilder,
     ScenarioError,
+};
+pub use scenario_compile::{
+    compile_path, compile_str, compile_str_with_sweeps, CompileError, CompiledMatrix, MatrixPoint,
+    SweepAxis,
 };
 pub use world::{World, WorldArena};

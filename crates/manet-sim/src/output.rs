@@ -123,13 +123,18 @@ impl DataTable {
 }
 
 fn format_value(value: f64) -> String {
+    // The branch must be picked on the *rounded* magnitude, not the raw one:
+    // 999.999 rounds to 1000 and belongs to the integer branch (plain
+    // `>= 1000.0` would render it "1000.00"), and 0.99999 rounds to 1.00 and
+    // belongs to the two-decimal branch (not "1.000").
+    let magnitude = value.abs();
     if value == 0.0 {
         "0".to_owned()
-    } else if value.abs() >= 1000.0 {
+    } else if magnitude.round() >= 1000.0 {
         format!("{value:.0}")
-    } else if value.abs() >= 1.0 {
+    } else if (magnitude * 100.0).round() >= 100.0 {
         format!("{value:.2}")
-    } else if value.abs() >= 0.001 {
+    } else if (magnitude * 1000.0).round() >= 1.0 {
         format!("{value:.3}")
     } else {
         // Tiny but non-zero: scientific notation, so a real measurement is
@@ -139,7 +144,7 @@ fn format_value(value: f64) -> String {
 }
 
 fn escape_csv(text: &str) -> String {
-    if text.contains(',') || text.contains('"') || text.contains('\n') {
+    if text.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", text.replace('"', "\"\""))
     } else {
         text.to_owned()
@@ -207,6 +212,33 @@ mod tests {
         assert_eq!(format_value(0.1234), "0.123");
         assert_eq!(format_value(12.345), "12.35");
         assert_eq!(format_value(4321.9), "4322");
+    }
+
+    #[test]
+    fn rounding_boundaries_pick_the_post_rounding_branch() {
+        // Regression: the branch used to be chosen on the pre-rounding
+        // magnitude, so 999.999 rendered as "1000.00" (two decimals in the
+        // >= 1000 regime) and 0.99999 as "1.000" (three decimals in the >= 1
+        // regime).
+        assert_eq!(format_value(999.999), "1000");
+        assert_eq!(format_value(0.99999), "1.00");
+        assert_eq!(format_value(-999.996), "-1000");
+        assert_eq!(format_value(-0.99999), "-1.00");
+        assert_eq!(format_value(0.0009996), "0.001");
+        // Values that stay below the boundary after rounding keep their branch.
+        assert_eq!(format_value(999.4), "999.40");
+        assert_eq!(format_value(0.9904), "0.990");
+    }
+
+    #[test]
+    fn csv_escapes_carriage_returns() {
+        // Regression: a label holding a carriage return used to be emitted
+        // unquoted, producing malformed CSV rows.
+        let mut table = DataTable::new("t", "line\rbreak", vec!["x".into()]);
+        table.push_row("a\r\nb", vec![1.0]);
+        let csv = table.to_csv();
+        assert!(csv.starts_with("\"line\rbreak\",x"));
+        assert!(csv.contains("\"a\r\nb\",1.00"));
     }
 
     #[test]

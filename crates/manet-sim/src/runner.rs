@@ -46,8 +46,13 @@ impl SeedPlan {
     }
 
     /// The seeds of this plan.
+    ///
+    /// A plan whose `first_seed` is close enough to `u64::MAX` that
+    /// `first_seed + runs` would overflow is truncated at `u64::MAX` instead of
+    /// panicking — seed plans can now come from config files, and a hostile or
+    /// typo'd plan must not crash the runner.
     pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
-        self.first_seed..self.first_seed + self.runs
+        self.first_seed..self.first_seed.saturating_add(self.runs)
     }
 }
 
@@ -286,6 +291,20 @@ mod tests {
         assert_eq!(SeedPlan::quick().seeds().count(), 3);
         let custom = SeedPlan::new(10, 4);
         assert_eq!(custom.seeds().collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn seed_plan_near_u64_max_saturates_instead_of_panicking() {
+        // Regression: `first_seed + runs` used to overflow (debug panic,
+        // release wrap) for plans near u64::MAX, which a config file can now
+        // supply.
+        let plan = SeedPlan::new(u64::MAX - 2, 10);
+        assert_eq!(
+            plan.seeds().collect::<Vec<_>>(),
+            vec![u64::MAX - 2, u64::MAX - 1]
+        );
+        let at_max = SeedPlan::new(u64::MAX, 5);
+        assert_eq!(at_max.seeds().count(), 0);
     }
 
     #[test]

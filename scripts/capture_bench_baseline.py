@@ -82,7 +82,13 @@ def main() -> int:
     baseline = {
         "captured": datetime.date.today().isoformat(),
         "budget_ms": args.budget_ms,
-        "host": {"machine": platform.machine(), "system": platform.system()},
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            # Parallel benches (seed pool, sharded world) are meaningless to
+            # compare across hosts with different core counts; record it.
+            "cpus": os.cpu_count() or 1,
+        },
         "benches": dict(sorted(benches.items())),
         "allocs": dict(sorted(allocs.items())),
     }

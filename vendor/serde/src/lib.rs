@@ -6,6 +6,13 @@
 //! impls plus no-op derive macros. Swapping in the real `serde` later only
 //! requires changing the path dependency — the annotations are already
 //! upstream-compatible.
+//!
+//! The scenario compiler (`manet_sim::scenario_compile`, PR 8) deliberately
+//! does **not** go through these derives: its diagnostics carry `line:col`
+//! positions, which requires a span-keeping parse tree that serde's visitor
+//! model erases (real serde included — spans need `toml_edit`-style
+//! machinery). It hand-rolls a TOML front-end instead, so this shim stays a
+//! marker-trait stub until something needs actual field visiting.
 
 #![forbid(unsafe_code)]
 
