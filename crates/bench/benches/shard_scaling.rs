@@ -25,10 +25,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use frugal::FloodingPolicy;
-use manet_sim::{MobilityKind, ProtocolKind, Scenario, ScenarioBuilder, WorldArena};
+use manet_sim::{
+    MobilityKind, ProtocolKind, Publication, PublisherChoice, Scenario, ScenarioBuilder, WorldArena,
+};
 use mobility::Area;
 use netsim::RadioConfig;
-use simkit::SimDuration;
+use simkit::{SimDuration, SimTime};
 
 /// Side of a square holding `nodes` at 100 m² per node, so density (and
 /// with it per-node grid/neighbor cost) stays constant across sizes.
@@ -76,6 +78,62 @@ fn mobile(nodes: usize) -> Scenario {
         .expect("static scenario is valid")
 }
 
+/// Traffic-sparse population: no publication ever leases a frame, so the
+/// whole run is the silent stretch the adaptive lookahead fuses. The
+/// initial subscription stagger spreads every node's quiet 1 Hz flood
+/// timer across distinct timestamps, so the fixed window pays one full
+/// fork/join round trip per *node* per second — the degenerate tiny-batch
+/// regime — while the widened window drains those runs in fused blocks of
+/// up to 256 batches. Long pauses under the default 500 ms tick keep the
+/// mobility segments light, so the pair (`sparse_adaptive` vs
+/// `sparse_fixed`) isolates exactly the round-trip amortisation.
+fn sparse(nodes: usize) -> Scenario {
+    ScenarioBuilder::new()
+        .label("shard-scaling-sparse")
+        .protocol(ProtocolKind::Flooding(FloodingPolicy::Simple))
+        .nodes(nodes)
+        .subscriber_fraction(1.0)
+        .mobility(MobilityKind::RandomWaypoint {
+            area: Area::square(side_for(nodes)),
+            speed_min: 15.0,
+            speed_max: 30.0,
+            pause: SimDuration::from_secs(20),
+        })
+        .radio(RadioConfig::ideal(50.0))
+        .timing(SimDuration::from_secs(1), SimDuration::from_secs(6))
+        .publications(vec![])
+        .build()
+        .expect("static scenario is valid")
+}
+
+/// Clustered-density chain: nodes 5 m apart on a line with a 100 m radio,
+/// flooded end to end from node 0. The wavefront concentrates reception
+/// work in a narrow, moving stretch of the (contiguous) id space — the
+/// worst case for static boundaries and the target of both the EWMA
+/// cost repartitioning and the opt-in classify work stealing
+/// (`clustered` vs `clustered_steal`).
+fn clustered(nodes: usize) -> Scenario {
+    ScenarioBuilder::new()
+        .label("shard-scaling-clustered")
+        .protocol(ProtocolKind::Flooding(FloodingPolicy::Simple))
+        .nodes(nodes)
+        .subscriber_fraction(1.0)
+        .mobility(MobilityKind::StationaryLine {
+            length: nodes as f64 * 5.0,
+        })
+        .radio(RadioConfig::ideal(100.0))
+        .timing(SimDuration::from_secs(1), SimDuration::from_secs(11))
+        .publications(vec![Publication {
+            publisher: PublisherChoice::Node(0),
+            topic: ".news.local".parse().unwrap(),
+            at: SimTime::from_secs(2),
+            validity: SimDuration::from_secs(8),
+            payload_bytes: 400,
+        }])
+        .build()
+        .expect("static scenario is valid")
+}
+
 fn bench_shard_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("shard_scaling");
     for (label, build) in [
@@ -94,6 +152,49 @@ fn bench_shard_scaling(c: &mut Criterion) {
                         seed += 1;
                         let world = arena.checkout(&scenario, seed).expect("valid scenario");
                         world.set_shards(shards);
+                        world.run_mut().nodes.len()
+                    });
+                });
+            }
+        }
+    }
+    // Adaptive-vs-fixed pairs on the traffic-sparse population: the
+    // `sparse_adaptive / sparse_fixed` ratio per (nodes, shards) point is the
+    // measured value of the widened windows (captured as `sparse_speedup` in
+    // BENCH_BASELINE.json).
+    for (label, fixed) in [("sparse_adaptive", false), ("sparse_fixed", true)] {
+        for &nodes in &[10_000usize, 100_000] {
+            let scenario = sparse(nodes);
+            for &shards in &[2usize, 4] {
+                let mut arena = WorldArena::new();
+                let mut seed = 0u64;
+                group.bench_function(format!("{label}/{nodes}/shards{shards}"), |b| {
+                    b.iter(|| {
+                        seed += 1;
+                        let world = arena.checkout(&scenario, seed).expect("valid scenario");
+                        world.set_shards(shards);
+                        world.set_fixed_lookahead(fixed);
+                        world.run_mut().nodes.len()
+                    });
+                });
+            }
+        }
+    }
+    // Pre-split vs work-stealing classification on the clustered chain. Both
+    // run under the same adaptive engine (the flood keeps terminating the
+    // windows); the variant toggles only how the reception fan-out is split.
+    for (label, steal) in [("clustered", false), ("clustered_steal", true)] {
+        for &nodes in &[2_000usize, 10_000] {
+            let scenario = clustered(nodes);
+            for &shards in &[2usize, 4] {
+                let mut arena = WorldArena::new();
+                let mut seed = 0u64;
+                group.bench_function(format!("{label}/{nodes}/shards{shards}"), |b| {
+                    b.iter(|| {
+                        seed += 1;
+                        let world = arena.checkout(&scenario, seed).expect("valid scenario");
+                        world.set_shards(shards);
+                        world.set_classify_work_stealing(steal);
                         world.run_mut().nodes.len()
                     });
                 });

@@ -9,7 +9,7 @@
 
 use crate::report::{ExperimentPoint, RunReport};
 use crate::scenario::{Scenario, ScenarioError};
-use crate::world::{World, WorldArena};
+use crate::world::{World, WorldArena, WorldDebugStats};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -146,7 +146,7 @@ pub fn run_scenario_reports_with_workers<F>(
 where
     F: Fn(SeedProgress<'_>) + Sync,
 {
-    run_scenario_reports_configured(scenario, plan, workers, on_seed, |_| {})
+    run_scenario_reports_configured(scenario, plan, workers, on_seed, |_| {}, |_| {})
 }
 
 /// Like [`run_scenario_reports`], but every world steps its event loop across
@@ -173,22 +173,62 @@ pub fn run_scenario_reports_sharded(
         move |world| {
             world.set_shards(shards);
         },
+        |_| {},
     )
 }
 
+/// Like [`run_scenario_reports_sharded`], but also returns the sum of every
+/// run's [`World::debug_stats`] counters — how often the sharded engine's
+/// adaptive lookahead and cost repartitioning actually engaged across the
+/// sweep. The counters are observability only; the reports are identical to
+/// [`run_scenario_reports_sharded`]'s.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the scenario fails validation.
+pub fn run_scenario_reports_sharded_with_stats(
+    scenario: &Scenario,
+    plan: SeedPlan,
+    workers: usize,
+    shards: usize,
+) -> Result<(Vec<RunReport>, WorldDebugStats), ScenarioError> {
+    let totals = Mutex::new(WorldDebugStats::default());
+    let reports = run_scenario_reports_configured(
+        scenario,
+        plan,
+        workers,
+        |_| {},
+        move |world| {
+            world.set_shards(shards);
+        },
+        |world| {
+            let stats = world.debug_stats();
+            let mut totals = totals.lock();
+            totals.windows_widened += stats.windows_widened;
+            totals.batches_fused += stats.batches_fused;
+            totals.repartitions += stats.repartitions;
+        },
+    )?;
+    Ok((reports, totals.into_inner()))
+}
+
 /// The shared seed-sweep pool: `configure` is applied to every checked-out
-/// world before it runs, so callers can flip doc-hidden toggles or the shard
-/// knob without duplicating the work-stealing loop.
-fn run_scenario_reports_configured<F, C>(
+/// world before it runs and `observe` right after (before the world is
+/// recycled), so callers can flip doc-hidden toggles or the shard knob and
+/// read back per-run engine counters without duplicating the work-stealing
+/// loop.
+fn run_scenario_reports_configured<F, C, O>(
     scenario: &Scenario,
     plan: SeedPlan,
     workers: usize,
     on_seed: F,
     configure: C,
+    observe: O,
 ) -> Result<Vec<RunReport>, ScenarioError>
 where
     F: Fn(SeedProgress<'_>) + Sync,
     C: Fn(&mut World) + Sync,
+    O: Fn(&World) + Sync,
 {
     scenario.validate()?;
     let seeds: Vec<u64> = plan.seeds().collect();
@@ -227,6 +267,7 @@ where
                             .expect("scenario validated before spawning workers");
                         configure(world);
                         let report = world.run_mut();
+                        observe(world);
                         let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                         on_seed(SeedProgress {
                             seed,

@@ -162,6 +162,22 @@ impl SchedulerQueue {
         }
     }
 
+    /// Like `pop_due_batch`, but guaranteed never to advance the wheel's
+    /// floor past `cap` — the adaptive-lookahead drain probes the due horizon
+    /// with this so that events scheduled *during* the widened window (timer
+    /// re-arms landing past the cap) are never clamped forward. See
+    /// [`TimerWheel::pop_due_batch_capped`].
+    fn pop_due_batch_capped(
+        &mut self,
+        cap: SimTime,
+        out: &mut Vec<(EventHandle, WorldEvent)>,
+    ) -> Option<SimTime> {
+        match self {
+            SchedulerQueue::Wheel(queue) => queue.pop_due_batch_capped(cap, out),
+            SchedulerQueue::Heap(queue) => queue.pop_due_batch_capped(cap, out),
+        }
+    }
+
     fn clear(&mut self) {
         match self {
             SchedulerQueue::Wheel(queue) => queue.clear(),
@@ -184,6 +200,21 @@ enum MobilityPath {
     /// The original reference: advance every node unconditionally on every
     /// tick — O(nodes) full advances per tick.
     Naive,
+}
+
+/// Observability counters for the sharded engine's adaptive optimizations
+/// (see [`World::debug_stats`]). They measure engagement, not results: runs
+/// are bit-identical whether or not the counters advance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorldDebugStats {
+    /// Conservative windows widened past one timestamp (≥ 2 batches fused
+    /// into a single worker round-trip).
+    pub windows_widened: u64,
+    /// Total timestamp batches executed inside widened windows.
+    pub batches_fused: u64,
+    /// Cost-informed repartition passes evaluated between stepping epochs
+    /// (boundaries move only when the measured cost is skewed).
+    pub repartitions: u64,
 }
 
 /// The complete state of one simulation run.
@@ -266,6 +297,29 @@ pub struct World {
     /// Set by [`World::set_single_shard`]: forces the single-threaded
     /// reference path regardless of the shard knob.
     force_single_shard: bool,
+    /// True while **no transmission can exist**: no publication has been
+    /// dispatched and no broadcast has ever been committed this run. While it
+    /// holds, the sharded engine may widen its conservative window past the
+    /// radio lookahead (see `world::shard`): every frame slot is provably
+    /// free and the statically-quiet timer kinds cannot start traffic.
+    /// Cleared permanently (until the next populate) by the first publish
+    /// dispatch or broadcast commit — monotone, so checking it is race-free.
+    traffic_free: bool,
+    /// Set by [`World::set_fixed_lookahead`]: pins the sharded engine to the
+    /// reference one-timestamp-per-window stepping. Survives [`World::reset`].
+    fixed_lookahead: bool,
+    /// Set by [`World::set_classify_work_stealing`]: large reception-classify
+    /// fan-outs are claimed in chunks from a shared cursor instead of being
+    /// split into fixed contiguous ranges. Survives [`World::reset`].
+    classify_stealing: bool,
+    /// Per-node work accumulators (EWMA at repartition granularity): workers
+    /// add one unit per mobility advance, fired protocol callback and
+    /// delivered message; the engine's periodic repartition feeds them to
+    /// [`simkit::BoundaryPartition::rebalance`] and then halves them. Only
+    /// wall-clock balance depends on these — never results.
+    node_cost: Vec<f32>,
+    /// Engagement counters for the adaptive paths; zeroed by every populate.
+    stats: WorldDebugStats,
 }
 
 impl World {
@@ -312,6 +366,11 @@ impl World {
             subscriber_cache: Vec::new(),
             shards: 1,
             force_single_shard: false,
+            traffic_free: true,
+            fixed_lookahead: false,
+            classify_stealing: false,
+            node_cost: Vec::new(),
+            stats: WorldDebugStats::default(),
         };
         world.populate(seed);
         Ok(world)
@@ -474,6 +533,12 @@ impl World {
         // subscriber index behind `PublisherChoice::RandomSubscriber`.
         self.timer_slots.clear();
         self.timer_slots.resize(n, [None; TimerKind::COUNT]);
+        // No publication has run and no broadcast exists yet; the per-node
+        // cost accumulators and engagement counters restart with the run.
+        self.traffic_free = true;
+        self.node_cost.clear();
+        self.node_cost.resize(n, 0.0);
+        self.stats = WorldDebugStats::default();
         self.subscriber_cache.clear();
         self.subscriber_cache
             .extend((0..n).filter(|index| subscriber_indices.contains(index)));
@@ -617,6 +682,63 @@ impl World {
     #[doc(hidden)]
     pub fn set_single_shard(&mut self, single: bool) {
         self.force_single_shard = single;
+    }
+
+    /// Pins the sharded engine to the reference stepping that forks and joins
+    /// exactly one same-timestamp batch per window, disabling the adaptive
+    /// widened windows. Semantically identical to the default adaptive path
+    /// (the shard equivalence suite pins whole-run reports bit-identical);
+    /// kept, like `set_single_shard`, so tests and the `shard_scaling`
+    /// benchmark can pick the reference explicitly. `false` restores the
+    /// adaptive default. Survives [`World::reset`].
+    #[doc(hidden)]
+    pub fn set_fixed_lookahead(&mut self, fixed: bool) {
+        self.fixed_lookahead = fixed;
+    }
+
+    /// Opts the sharded engine into work-stealing for large
+    /// reception-classify fan-outs: receiver chunks are claimed from a shared
+    /// cursor instead of being pre-split into fixed contiguous ranges, so a
+    /// spatially-skewed receiver set no longer leaves most shards idle behind
+    /// the densest one. Results are bit-identical either way (chunks are
+    /// reassembled in index order before the sequential resolve); default off
+    /// because the shared cursor costs more than it saves on uniform
+    /// workloads. Survives [`World::reset`].
+    pub fn set_classify_work_stealing(&mut self, steal: bool) {
+        self.classify_stealing = steal;
+    }
+
+    /// Engagement counters of the sharded engine's adaptive paths (widened
+    /// windows, fused batches, repartition passes) for the run so far. Zeroed
+    /// by [`World::reset`]; purely observational.
+    pub fn debug_stats(&self) -> WorldDebugStats {
+        self.stats
+    }
+
+    /// The per-timer-kind quiet bound used by the adaptive window: entry
+    /// `kind.index()` is `Some(d)` iff firing that kind while `traffic_free`
+    /// holds is **provably quiet** — it emits no broadcast, touches no other
+    /// node and mutates the schedule only by re-arming itself at least `d`
+    /// after its own timestamp. `None` marks kinds that may broadcast or arm other timers;
+    /// a batch containing one ends the widened window.
+    ///
+    /// The table is derived statically from the protocol kind:
+    ///
+    /// * **Flooding** (all policies): `FloodTick` with an empty event store —
+    ///   guaranteed while no publish/broadcast ever happened — only prunes
+    ///   and re-arms at the fixed flood interval. Every other kind is
+    ///   conservative `None` (`Heartbeat` broadcasts under NeighborInterest;
+    ///   the rest are never armed by the baselines).
+    /// * **Frugal**: all `None`. Subscribing already broadcasts, so a frugal
+    ///   run leaves `traffic_free` within the first stagger window and the
+    ///   entries would be dead code; keeping them `None` means the window
+    ///   logic never needs the frugal timer semantics to be re-proven.
+    fn quiet_timer_bounds(&self) -> [Option<SimDuration>; TimerKind::COUNT] {
+        let mut bounds = [None; TimerKind::COUNT];
+        if matches!(self.scenario.protocol, ProtocolKind::Flooding(_)) {
+            bounds[TimerKind::FloodTick.index()] = Some(FloodingProtocol::PAPER_FLOOD_INTERVAL);
+        }
+        bounds
     }
 
     /// The conservative lookahead of parallel simulation for this scenario:
@@ -908,6 +1030,11 @@ impl World {
     }
 
     fn on_publish(&mut self, index: u32) {
+        // A published event can ride any later quiet timer (an empty-store
+        // FloodTick starts broadcasting once the store fills), so the
+        // traffic-free window closes at the publish dispatch, not at the
+        // first broadcast.
+        self.traffic_free = false;
         let publication = self.scenario.publications[index as usize].clone();
         let publisher = self.resolve_publisher(publication.publisher);
         let now = self.now;
@@ -960,6 +1087,7 @@ impl World {
             mac_rng: &mut self.mac_rng,
             max_jitter: self.scenario.radio.max_contention_jitter,
             now: self.now,
+            traffic_free: &mut self.traffic_free,
         }
         .apply(node, out);
     }
@@ -1050,6 +1178,9 @@ struct ActionSink<'a> {
     mac_rng: &'a mut SimRng,
     max_jitter: SimDuration,
     now: SimTime,
+    /// Cleared on the first broadcast: from here on transmissions may exist,
+    /// so the adaptive window must stop widening (see `World::traffic_free`).
+    traffic_free: &'a mut bool,
 }
 
 impl ActionSink<'_> {
@@ -1058,6 +1189,7 @@ impl ActionSink<'_> {
         for action in out.drain() {
             match action {
                 Action::Broadcast(message) => {
+                    *self.traffic_free = false;
                     let jitter = self.mac_rng.jitter(self.max_jitter);
                     let pending = PendingFrame {
                         sender: node,

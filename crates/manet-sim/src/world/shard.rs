@@ -1,7 +1,7 @@
 //! Deterministic sharded stepping: one [`World`], many cores, bit-identical
 //! reports.
 //!
-//! # The conservative window collapses to one timestamp batch
+//! # The conservative window collapses to one timestamp batch…
 //!
 //! Classic conservative parallel discrete-event simulation advances each
 //! partition inside a time window bounded by the **lookahead** — the minimum
@@ -13,6 +13,47 @@
 //! one call. The engine therefore forks and joins **per batch**: it is the
 //! degenerate-but-honest instantiation of windowed conservative stepping for
 //! this model, not an approximation of it.
+//!
+//! # …except while the air is provably silent: adaptive lookahead
+//!
+//! The one-millisecond bound is only *needed* when a transmission could
+//! couple two nodes. Until the first `Broadcast` is committed (tracked by
+//! `World::traffic_free`, re-armed by `populate`), the event stream is
+//! mobility ticks and **quiet** timers — kinds whose callbacks, on a world
+//! that has never carried traffic, emit nothing but a re-arm of themselves no
+//! sooner than a static per-kind bound (see `World::quiet_timer_bounds`; for
+//! the flooding baselines, `FloodTick` re-arms at the paper's one-second
+//! flood interval and broadcasts only when the store holds events, which a
+//! traffic-free store cannot). Under that precondition the engine *widens*
+//! the window: it drains a run of consecutive tick/timer batches from the
+//! queue up front — never past `min(fire + bound) - 1`, so nothing scheduled
+//! mid-window can be popped by the window, and the wheel's floor never
+//! passes the cap ([`TimerWheel::pop_due_batch_capped`]) — and replays the
+//! whole run in **one** fork/join ([`do_fused`]). Commits still walk the
+//! segments sequentially in exact (time, seq, FIFO) dispatch order, so
+//! reports stay bit-identical; only round trips are saved (up to
+//! [`MAX_FUSED_BATCHES`]× fewer). Any batch that could create a transmission
+//! or otherwise perturb the due horizon — publish, subscribe, warm-up, a
+//! non-quiet timer, a mixed tick+timer batch — terminates the drain and is
+//! dispatched per-timestamp. `World::set_fixed_lookahead` pins the engine to
+//! the one-batch window; the equivalence suite holds the two paths equal.
+//!
+//! # Cost-balanced boundaries and stealing
+//!
+//! Contiguous index ranges keep commits order-preserving, but equal *node
+//! counts* are not equal *work*: cost concentrates wherever the traffic and
+//! the due mobility nodes are. Each shard therefore accumulates a per-node
+//! work count (+1 per mobility advance, fired callback, delivered message —
+//! a deterministic function of the simulation, never of thread timing), and
+//! the run is stepped in epochs of [`REPARTITION_INTERVAL`] batches: between
+//! epochs the worker scope is down and [`BoundaryPartition::rebalance`]
+//! slides the contiguous boundaries toward equal accumulated cost (the
+//! accumulators halve each pass — an EWMA at epoch granularity). For the one
+//! remaining intra-batch skew — a large reception-classify fan-out whose
+//! receivers cluster in few shards — `World::set_classify_work_stealing`
+//! opts into a shared-cursor chunk queue instead of pre-split ranges.
+//! Both mechanisms redistribute identical computations across threads;
+//! neither can change results.
 //!
 //! # What may run in parallel (and what must not)
 //!
@@ -41,8 +82,8 @@
 //!
 //! # Partitioning
 //!
-//! Nodes are split into [`ShardPartition`] contiguous index ranges and each
-//! worker borrows its range of the structure-of-arrays node state
+//! Nodes are split into [`BoundaryPartition`] contiguous index ranges and
+//! each worker borrows its range of the structure-of-arrays node state
 //! (`split_at_mut` — no copies, no unsafe). Spatial bands were considered and
 //! rejected: with a one-batch window every boundary is "hot" anyway (all
 //! cross-shard traffic routes through the coordinator each batch), so spatial
@@ -67,8 +108,9 @@
 
 use super::*;
 use netsim::{CompletionSnapshot, RadioConfig, ReceptionClass};
-use simkit::ShardPartition;
-use std::collections::{HashMap, VecDeque};
+use simkit::BoundaryPartition;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::Thread;
@@ -102,6 +144,16 @@ fn spin_budget(shards: usize) -> u32 {
 /// workers. Classification is pure, so this affects speed only — results are
 /// identical at every shard count and every threshold.
 const PARALLEL_CLASSIFY_MIN_WORK: usize = 1_024;
+
+/// Upper bound on timestamp batches fused into one widened window. Bounds the
+/// worker segment lists and the commit walk; at the millisecond clock this is
+/// still a quarter of a simulated second per round trip.
+const MAX_FUSED_BATCHES: usize = 256;
+
+/// Batches the engine steps between cost-informed repartition passes (one
+/// "epoch"). Each pass re-enters the thread scope, so the interval also
+/// amortizes the worker respawn (~100 µs) down to noise.
+const REPARTITION_INTERVAL: u64 = 1024;
 
 /// A single-consumer mailbox tuned for microsecond fork/join round trips:
 /// senders push under a (shim) mutex and bump an atomic length; the receiver
@@ -215,10 +267,20 @@ enum SlotSim {
 }
 
 /// Per-worker reusable state: the timer-slot overlay of the protocol segment
-/// currently executing.
+/// currently executing, plus the fused-window mobility bookkeeping.
 #[derive(Default)]
 struct WorkerScratch {
     overlay: HashMap<u32, [SlotSim; TimerKind::COUNT]>,
+    /// Fused windows: one entry per owned node due within the window, keyed
+    /// by its next wake time (`due(t) = {n : wake ≤ t}` — exactly the nodes
+    /// the sequential active-list/wake-queue merge would advance at tick t).
+    wake_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Fused windows: nodes advanced at least once (local indices), plus the
+    /// dense flags backing the dedup.
+    touched: Vec<bool>,
+    touched_list: Vec<u32>,
+    /// Fused windows: the nodes due at the tick currently being replayed.
+    due: Vec<u32>,
 }
 
 /// The worker's verdict and position update for one mobility-advanced node.
@@ -229,6 +291,32 @@ struct NodeMove {
     wake: SimTime,
 }
 
+/// One timestamp batch of a fused window, as a worker replays it. The
+/// coordinator guarantees the segment list is in ascending timestamp order
+/// and that every batch in it is **quiet** (see `Engine::fuse_kind`).
+enum WorkerSeg {
+    /// A mobility tick at `now`: advance the owned nodes due at `now`.
+    Mobility { now: SimTime },
+    /// The next `count` entries of the flattened item list are quiet timer
+    /// callbacks firing at `now`.
+    Timers { now: SimTime, count: usize },
+}
+
+/// The shared state of one work-stealing classify fan-out: receivers are
+/// claimed in `chunk_size` runs from the atomic cursor by every shard (the
+/// coordinator included), so a spatially skewed receiver set keeps all cores
+/// busy. Results are filed per chunk index and reassembled in index order, so
+/// the classification outcome — and everything downstream of it — is
+/// bit-identical to the pre-split path.
+struct StealShared {
+    snapshot: CompletionSnapshot,
+    config: RadioConfig,
+    items: Vec<(u32, Point)>,
+    chunk_size: usize,
+    cursor: AtomicUsize,
+    results: parking_lot::Mutex<Vec<(u32, Vec<Option<ReceptionClass>>)>>,
+}
+
 /// Work the coordinator hands a shard for one phase of the current batch.
 enum Work {
     /// Advance these owned nodes (ascending) across the current tick.
@@ -237,6 +325,16 @@ enum Work {
         tick: SimDuration,
         nodes: Vec<u32>,
     },
+    /// Replay a whole fused window: the segments in timestamp order, with the
+    /// owned timer items flattened in (segment, FIFO) order.
+    Fused {
+        segs: Vec<WorkerSeg>,
+        items: Vec<(u32, TimerKind)>,
+        bufs: Vec<ActionBuf>,
+        tick: SimDuration,
+    },
+    /// Join a work-stealing classify fan-out until the cursor runs dry.
+    ClassifySteal { shared: Arc<StealShared> },
     /// Run a protocol segment's callbacks for the owned items (FIFO order).
     Protocol {
         now: SimTime,
@@ -276,6 +374,15 @@ enum Reply {
     Mobility {
         moves: Vec<NodeMove>,
     },
+    /// Fused window: the **final** state of every node advanced at least once
+    /// (ascending), plus the filled timer buffers in item order.
+    Fused {
+        moves: Vec<NodeMove>,
+        bufs: Vec<ActionBuf>,
+    },
+    /// The shard drained its share of a work-stealing classify cursor (the
+    /// classes travel through [`StealShared::results`]).
+    ClassifySteal,
     Protocol {
         fired: Vec<bool>,
         bufs: Vec<ActionBuf>,
@@ -302,11 +409,46 @@ struct ShardChunk<'a> {
     nodes: &'a mut [SimNode],
     last_advance: &'a mut [SimTime],
     wake_times: &'a mut [SimTime],
+    /// Per-node work accumulators feeding the periodic repartition: +1 per
+    /// mobility advance, fired protocol callback and delivered message — a
+    /// deterministic function of the simulation, never of thread timing.
+    /// (Classify and publish work is unattributed; both are either spread by
+    /// their own fan-out or too rare to skew a shard.)
+    cost: &'a mut [f32],
 }
 
-/// Mobility phase, worker side: exactly [`World::advance_due_node`] minus the
-/// world-global effects (grid update, wake-queue routing), which the returned
-/// [`NodeMove`]s let the coordinator replay in ascending node order.
+/// Advances one owned node (local index) across the tick ending at `now`:
+/// exactly [`World::advance_due_node`] minus the world-global effects (grid
+/// update, wake-queue routing), which the coordinator replays at commit.
+/// Returns the node's next wake time.
+fn advance_node(
+    chunk: &mut ShardChunk<'_>,
+    index: usize,
+    now: SimTime,
+    tick: SimDuration,
+) -> SimTime {
+    let node = &mut chunk.nodes[index];
+    let skipped = now - chunk.last_advance[index];
+    if skipped > tick {
+        node.mobility.advance(skipped - tick, &mut node.rng);
+    }
+    node.mobility.advance(tick, &mut node.rng);
+    chunk.last_advance[index] = now;
+    let speed = node.mobility.speed();
+    let wake = if speed > 0.0 {
+        now
+    } else {
+        now.saturating_add(node.mobility.time_to_transition())
+    };
+    chunk.wake_times[index] = wake;
+    node.protocol.update_speed(Some(speed));
+    chunk.cost[index] += 1.0;
+    wake
+}
+
+/// Mobility phase, worker side: advance the due nodes and report each one's
+/// move so the coordinator can replay the grid updates and wake-queue routing
+/// in ascending node order.
 fn do_mobility(
     chunk: &mut ShardChunk<'_>,
     now: SimTime,
@@ -316,25 +458,108 @@ fn do_mobility(
     due.iter()
         .map(|&global| {
             let index = global as usize - chunk.first;
-            let node = &mut chunk.nodes[index];
-            let skipped = now - chunk.last_advance[index];
-            if skipped > tick {
-                node.mobility.advance(skipped - tick, &mut node.rng);
-            }
-            node.mobility.advance(tick, &mut node.rng);
-            chunk.last_advance[index] = now;
-            let speed = node.mobility.speed();
-            let wake = if speed > 0.0 {
-                now
-            } else {
-                now.saturating_add(node.mobility.time_to_transition())
-            };
-            chunk.wake_times[index] = wake;
-            node.protocol.update_speed(Some(speed));
+            let wake = advance_node(chunk, index, now, tick);
             NodeMove {
                 node: global,
-                position: node.mobility.position(),
+                position: chunk.nodes[index].mobility.position(),
                 wake,
+            }
+        })
+        .collect()
+}
+
+/// Fused-window replay, worker side: walk the segments in timestamp order,
+/// advancing the owned nodes due at each mobility tick and firing each quiet
+/// timer item into its buffer. Only the **final** per-node state is reported:
+/// nothing outside this shard can observe the intermediate positions (no
+/// transmission exists anywhere in the window, and the coordinator's grid is
+/// only read by transmission resolution), so one `NodeMove` per touched node
+/// replaces per-tick move traffic.
+///
+/// Due-node discovery runs on a local heap over the shard's own wake times —
+/// `due(t) = {n : wake(n) ≤ t}`, which is exactly the set the sequential
+/// active-list/wake-queue merge advances at t (moving nodes carry `wake =
+/// last tick ≤ t`; sleepers wake when their pause can end). Per-tick
+/// cross-node order is irrelevant: every mutation here is node-private.
+fn do_fused(
+    chunk: &mut ShardChunk<'_>,
+    scratch: &mut WorkerScratch,
+    segs: &[WorkerSeg],
+    items: &[(u32, TimerKind)],
+    bufs: &mut [ActionBuf],
+    tick: SimDuration,
+) -> Vec<NodeMove> {
+    let last_tick = segs.iter().rev().find_map(|seg| match seg {
+        WorkerSeg::Mobility { now } => Some(*now),
+        WorkerSeg::Timers { .. } => None,
+    });
+    scratch.wake_heap.clear();
+    scratch.touched.clear();
+    scratch.touched_list.clear();
+    if let Some(last) = last_tick {
+        scratch.touched.resize(chunk.nodes.len(), false);
+        for (index, &wake) in chunk.wake_times.iter().enumerate() {
+            if wake <= last {
+                scratch.wake_heap.push(Reverse((wake, index as u32)));
+            }
+        }
+    }
+    let mut cursor = 0usize;
+    for seg in segs {
+        match *seg {
+            WorkerSeg::Mobility { now } => {
+                // Drain every node due at this tick before advancing any of
+                // them: a mover's new wake equals `now`, and pushing it back
+                // mid-drain would re-pop it within the same tick.
+                scratch.due.clear();
+                while let Some(&Reverse((wake, index))) = scratch.wake_heap.peek() {
+                    if wake > now {
+                        break;
+                    }
+                    scratch.wake_heap.pop();
+                    scratch.due.push(index);
+                }
+                let mut due = std::mem::take(&mut scratch.due);
+                for &local in &due {
+                    let index = local as usize;
+                    let wake = advance_node(chunk, index, now, tick);
+                    if !scratch.touched[index] {
+                        scratch.touched[index] = true;
+                        scratch.touched_list.push(local);
+                    }
+                    let last = last_tick.expect("mobility seg implies a last tick");
+                    if wake <= last {
+                        scratch.wake_heap.push(Reverse((wake, local)));
+                    }
+                }
+                due.clear();
+                scratch.due = due;
+            }
+            WorkerSeg::Timers { now, count } => {
+                for ((node, kind), buf) in items[cursor..cursor + count]
+                    .iter()
+                    .zip(&mut bufs[cursor..cursor + count])
+                {
+                    let index = *node as usize - chunk.first;
+                    chunk.nodes[index].protocol.handle_timer(*kind, now, buf);
+                    chunk.cost[index] += 1.0;
+                }
+                cursor += count;
+            }
+        }
+    }
+    // Final state of every advanced node, ascending — the concatenation
+    // across shards restores global ascending order at the coordinator.
+    scratch.touched_list.sort_unstable();
+    scratch
+        .touched_list
+        .iter()
+        .map(|&local| {
+            let index = local as usize;
+            NodeMove {
+                node: (chunk.first + index) as u32,
+                position: chunk.nodes[index].mobility.position(),
+                wake: chunk.wake_times[index],
             }
         })
         .collect()
@@ -364,7 +589,8 @@ fn do_protocol(
                 }
                 slots
             });
-            let node = &mut chunk.nodes[item.node as usize - chunk.first];
+            let index = item.node as usize - chunk.first;
+            let node = &mut chunk.nodes[index];
             let fired = match &item.op {
                 ProtocolOp::Subscribe(topic) => {
                     node.protocol.subscribe(topic.clone(), now, buf);
@@ -381,6 +607,7 @@ fn do_protocol(
                 }
             };
             if fired {
+                chunk.cost[index] += 1.0;
                 // Track what the commit's ActionSink will do to this node's
                 // real slots, so later items of the segment validate against
                 // the state they would have seen sequentially.
@@ -406,9 +633,35 @@ fn do_deliver(
     bufs: &mut [ActionBuf],
 ) {
     for (&receiver, buf) in receivers.iter().zip(bufs.iter_mut()) {
-        chunk.nodes[receiver as usize - chunk.first]
+        let index = receiver as usize - chunk.first;
+        chunk.nodes[index]
             .protocol
             .handle_message(message, now, buf);
+        chunk.cost[index] += 1.0;
+    }
+}
+
+/// Drains a work-stealing classify cursor: claim chunk indices until the
+/// cursor passes the end, classify each claimed run, and file the classes
+/// under the chunk index (the coordinator reassembles them in index order).
+/// Run by every shard of the fan-out, the coordinator included.
+fn steal_classify(shared: &StealShared) {
+    loop {
+        let chunk = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        let start = chunk * shared.chunk_size;
+        if start >= shared.items.len() {
+            break;
+        }
+        let stop = (start + shared.chunk_size).min(shared.items.len());
+        let classes: Vec<Option<ReceptionClass>> = shared.items[start..stop]
+            .iter()
+            .map(|&(receiver, position)| {
+                shared
+                    .snapshot
+                    .classify(&shared.config, receiver as usize, position)
+            })
+            .collect();
+        shared.results.lock().push((chunk as u32, classes));
     }
 }
 
@@ -446,6 +699,22 @@ fn worker_loop(
             Work::Mobility { now, tick, nodes } => {
                 let moves = do_mobility(&mut chunk, now, tick, &nodes);
                 replies.send((shard, Reply::Mobility { moves }));
+            }
+            Work::Fused {
+                segs,
+                items,
+                mut bufs,
+                tick,
+            } => {
+                let moves = do_fused(&mut chunk, &mut scratch, &segs, &items, &mut bufs, tick);
+                replies.send((shard, Reply::Fused { moves, bufs }));
+            }
+            Work::ClassifySteal { shared } => {
+                steal_classify(&shared);
+                // Drop our clone before replying so the coordinator can
+                // reclaim the shared state with `Arc::try_unwrap`.
+                drop(shared);
+                replies.send((shard, Reply::ClassifySteal));
             }
             Work::Protocol {
                 now,
@@ -507,12 +776,43 @@ fn worker_loop(
     }
 }
 
+/// Fuses one all-quiet timer batch into a window being drained: moves the
+/// events into the flat window list, records the segment, and tightens the
+/// window's re-arm limit (`min` over fired events of fire time + the kind's
+/// quiet bound — the earliest any in-window schedule can land).
+fn fuse_timer_batch(
+    quiet: &[Option<SimDuration>; TimerKind::COUNT],
+    time: SimTime,
+    batch: &mut Vec<(EventHandle, WorldEvent)>,
+    segs: &mut Vec<FusedSeg>,
+    events: &mut Vec<(EventHandle, WorldEvent)>,
+    limit: &mut Option<SimTime>,
+) {
+    let start = events.len();
+    for &(_, event) in batch.iter() {
+        let kind = match event {
+            WorldEvent::Timer { kind, .. } => kind,
+            _ => unreachable!("fusable timer batch holds only Timer events"),
+        };
+        let bound = quiet[kind.index()].expect("fusable timer batch holds only quiet kinds");
+        let lands = time + bound;
+        *limit = Some(limit.map_or(lands, |current| current.min(lands)));
+    }
+    events.append(batch);
+    segs.push(FusedSeg::Timers {
+        time,
+        start,
+        stop: events.len(),
+    });
+}
+
 /// Splits the node state into per-shard chunks along the partition's ranges.
 fn split_chunks<'a>(
-    part: &ShardPartition,
+    part: &BoundaryPartition,
     mut nodes: &'a mut [SimNode],
     mut last_advance: &'a mut [SimTime],
     mut wake_times: &'a mut [SimTime],
+    mut cost: &'a mut [f32],
 ) -> Vec<ShardChunk<'a>> {
     let mut chunks = Vec::with_capacity(part.len());
     let mut first = 0;
@@ -521,15 +821,18 @@ fn split_chunks<'a>(
         let (chunk_nodes, rest_nodes) = nodes.split_at_mut(width);
         let (chunk_last, rest_last) = last_advance.split_at_mut(width);
         let (chunk_wake, rest_wake) = wake_times.split_at_mut(width);
+        let (chunk_cost, rest_cost) = cost.split_at_mut(width);
         chunks.push(ShardChunk {
             first,
             nodes: chunk_nodes,
             last_advance: chunk_last,
             wake_times: chunk_wake,
+            cost: chunk_cost,
         });
         nodes = rest_nodes;
         last_advance = rest_last;
         wake_times = rest_wake;
+        cost = rest_cost;
         first += width;
     }
     chunks
@@ -540,15 +843,46 @@ impl World {
     /// dispatch order, same results, with the pure per-node work of each
     /// batch fanned out to `effective_shards() - 1` scoped worker threads
     /// (the coordinator doubles as shard 0's worker).
+    ///
+    /// The run is stepped in **epochs** of [`REPARTITION_INTERVAL`] batches.
+    /// Between epochs the worker scope is down, so the per-node cost
+    /// accumulators can feed a [`BoundaryPartition::rebalance`] pass and the
+    /// next epoch's chunks are split along the moved boundaries — shards
+    /// track measured work, not node count. Repartitioning redistributes
+    /// identical computations across threads; it cannot change results.
     pub(super) fn run_until_sharded(&mut self, deadline: SimTime) {
         let deadline = deadline.min(self.end);
-        // Don't pay thread spawns when nothing is due (or the run is over).
-        match self.queue.peek_time() {
-            Some(at) if at <= deadline => {}
-            _ => return,
+        let mut part = BoundaryPartition::balanced(self.nodes.len(), self.effective_shards());
+        let mut first_epoch = true;
+        loop {
+            // Don't pay thread spawns when nothing is due (or the run is over).
+            match self.queue.peek_time() {
+                Some(at) if at <= deadline => {}
+                _ => return,
+            }
+            if !first_epoch && self.node_cost.iter().any(|&cost| cost > 0.0) {
+                // EWMA at epoch granularity: rebalance on the accumulated
+                // costs, then halve them so each pass weighs recent epochs
+                // about twice as much as the epoch before.
+                part.rebalance(&self.node_cost);
+                self.stats.repartitions += 1;
+                for cost in &mut self.node_cost {
+                    *cost *= 0.5;
+                }
+            }
+            first_epoch = false;
+            self.run_epoch(&part, deadline);
         }
-        let part = ShardPartition::new(self.nodes.len(), self.effective_shards());
+    }
+
+    /// Runs up to [`REPARTITION_INTERVAL`] batches against one fixed
+    /// partition: split the chunks, spawn the workers, drive the engine,
+    /// join.
+    fn run_epoch(&mut self, part: &BoundaryPartition, deadline: SimTime) {
         let radio = self.scenario.radio.clone();
+        let quiet = self.quiet_timer_bounds();
+        let adaptive = !self.fixed_lookahead;
+        let steal = self.classify_stealing;
         let World {
             scenario,
             now,
@@ -574,9 +908,12 @@ impl World {
             batch_scratch,
             subscriber_cache,
             end,
+            traffic_free,
+            node_cost,
+            stats,
             ..
         } = self;
-        let mut chunks = split_chunks(&part, nodes, last_advance, wake_times).into_iter();
+        let mut chunks = split_chunks(part, nodes, last_advance, wake_times, node_cost).into_iter();
         let chunk0 = chunks.next().expect("partition has at least one shard");
         // The mailboxes and the death flag live outside the scope so their
         // borrows outlive the scope's implicit join.
@@ -627,7 +964,7 @@ impl World {
                 now: *now,
                 end: *end,
                 radio,
-                part,
+                part: part.clone(),
                 chunk0,
                 scratch0: WorkerScratch::default(),
                 inboxes: &inboxes,
@@ -643,8 +980,15 @@ impl World {
                 classes: Vec::new(),
                 received: Vec::new(),
                 due: Vec::new(),
+                adaptive,
+                quiet,
+                steal,
+                traffic_free,
+                stats,
+                fused_segs: Vec::new(),
+                fused_events: Vec::new(),
             };
-            engine.run(deadline, batch_scratch);
+            engine.run(deadline, batch_scratch, REPARTITION_INTERVAL);
             *now = engine.now;
         });
     }
@@ -676,7 +1020,7 @@ struct Engine<'w, 'mb> {
     now: SimTime,
     end: SimTime,
     radio: RadioConfig,
-    part: ShardPartition,
+    part: BoundaryPartition,
     chunk0: ShardChunk<'w>,
     scratch0: WorkerScratch,
     inboxes: &'mb [Mailbox<Work>],
@@ -697,58 +1041,457 @@ struct Engine<'w, 'mb> {
     classes: Vec<Option<ReceptionClass>>,
     received: Vec<u32>,
     due: Vec<u32>,
+    /// Adaptive lookahead enabled (the default; `set_fixed_lookahead(true)`
+    /// pins the engine to the one-batch conservative window).
+    adaptive: bool,
+    /// Per timer kind: `Some(bound)` if the kind is *quiet* while the world is
+    /// traffic-free — its callback emits nothing but a re-arm of itself no
+    /// sooner than `bound` after the fire (see `World::quiet_timer_bounds`).
+    quiet: [Option<SimDuration>; TimerKind::COUNT],
+    /// Within-batch work stealing for the classify fan-out (opt-in).
+    steal: bool,
+    /// No transmission has ever been created (and no publication dispatched):
+    /// the standing precondition of window fusion. Cleared by the world's
+    /// `ActionSink` on the first `Broadcast` commit.
+    traffic_free: &'w mut bool,
+    stats: &'w mut WorldDebugStats,
+    /// Scratch of the fused window currently being drained.
+    fused_segs: Vec<FusedSeg>,
+    fused_events: Vec<(EventHandle, WorldEvent)>,
+}
+
+/// One timestamp batch of a fused window, coordinator side.
+enum FusedSeg {
+    /// A mobility tick at `time` — either popped from the wheel or *virtual*
+    /// (the successor of an earlier fused tick, which sequential stepping
+    /// would only have scheduled while processing that tick).
+    Mobility { time: SimTime },
+    /// A batch of quiet timer events at `time`:
+    /// `fused_events[start..stop]`, in FIFO pop order.
+    Timers {
+        time: SimTime,
+        start: usize,
+        stop: usize,
+    },
+}
+
+/// What `Engine::fuse_kind` decided about a freshly popped batch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FuseKind {
+    Mobility,
+    Timers,
 }
 
 impl Engine<'_, '_> {
     /// The batch loop — structurally identical to the single-threaded
-    /// `run_until`, with dispatch replaced by segmented fork/join.
-    fn run(&mut self, deadline: SimTime, batch: &mut Vec<(EventHandle, WorldEvent)>) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
+    /// `run_until`, with dispatch replaced by segmented fork/join, except
+    /// that a fusable batch may open a widened window covering a whole run
+    /// of consecutive quiet batches (see [`Engine::fused_window`]).
+    ///
+    /// Returns after `budget` timestamp batches at the latest, so the caller
+    /// can interleave repartition passes; a fused window counts each batch it
+    /// consumed.
+    fn run(&mut self, deadline: SimTime, batch: &mut Vec<(EventHandle, WorldEvent)>, budget: u64) {
+        let mut remaining = budget;
+        while remaining > 0 {
+            let at = match self.queue.peek_time() {
+                Some(at) if at <= deadline => at,
+                _ => break,
+            };
             self.now = at;
             batch.clear();
             self.queue.pop_due_batch(at, batch);
-            let mut index = 0;
-            while index < batch.len() {
-                match batch[index].1 {
-                    WorldEvent::Subscribe { .. } | WorldEvent::Timer { .. } => {
-                        // Maximal run of protocol events: one fork/join.
-                        let mut stop = index + 1;
-                        while stop < batch.len()
-                            && matches!(
-                                batch[stop].1,
-                                WorldEvent::Subscribe { .. } | WorldEvent::Timer { .. }
-                            )
-                        {
-                            stop += 1;
-                        }
-                        self.protocol_segment(&batch[index..stop]);
-                        index = stop;
+            let consumed = match self.fuse_kind(batch) {
+                Some(kind) => self.fused_window(kind, batch, deadline),
+                None => {
+                    self.dispatch_batch(batch);
+                    1
+                }
+            };
+            remaining = remaining.saturating_sub(consumed.max(1));
+        }
+    }
+
+    /// Dispatches one timestamp batch the per-timestamp way. `self.now` must
+    /// already be the batch's time.
+    fn dispatch_batch(&mut self, batch: &[(EventHandle, WorldEvent)]) {
+        let mut index = 0;
+        while index < batch.len() {
+            match batch[index].1 {
+                WorldEvent::Subscribe { .. } | WorldEvent::Timer { .. } => {
+                    // Maximal run of protocol events: one fork/join.
+                    let mut stop = index + 1;
+                    while stop < batch.len()
+                        && matches!(
+                            batch[stop].1,
+                            WorldEvent::Subscribe { .. } | WorldEvent::Timer { .. }
+                        )
+                    {
+                        stop += 1;
                     }
-                    WorldEvent::TxStart { frame } => {
-                        self.on_tx_start(frame);
-                        index += 1;
+                    self.protocol_segment(&batch[index..stop]);
+                    index = stop;
+                }
+                WorldEvent::TxStart { frame } => {
+                    self.on_tx_start(frame);
+                    index += 1;
+                }
+                WorldEvent::TxEnd { frame, tx } => {
+                    self.on_tx_end(frame, tx);
+                    index += 1;
+                }
+                WorldEvent::MobilityTick => {
+                    self.on_mobility_tick();
+                    index += 1;
+                }
+                WorldEvent::Publish { index: publication } => {
+                    self.on_publish(publication);
+                    index += 1;
+                }
+                WorldEvent::WarmupEnd => {
+                    self.on_warmup_end();
+                    index += 1;
+                }
+            }
+        }
+    }
+
+    /// Decides whether a freshly popped batch may join a widened window.
+    ///
+    /// Fusable batches are exactly a lone `MobilityTick`, or an all-`Timer`
+    /// batch every kind of which is quiet — and only while adaptive lookahead
+    /// is on, no transmission has ever existed (`traffic_free`), and nothing
+    /// is on the air (every frame slot free; implied by `traffic_free`, kept
+    /// as belt-and-suspenders). A mixed tick+timer batch is never fused: the
+    /// relative order of `update_speed` and `handle_timer` on one node could
+    /// be observable there.
+    fn fuse_kind(&self, batch: &[(EventHandle, WorldEvent)]) -> Option<FuseKind> {
+        if !self.adaptive || !*self.traffic_free || self.frames.len() != self.free_frames.len() {
+            return None;
+        }
+        if batch.len() == 1 && matches!(batch[0].1, WorldEvent::MobilityTick) {
+            return Some(FuseKind::Mobility);
+        }
+        let all_quiet = batch.iter().all(|&(_, event)| {
+            matches!(event, WorldEvent::Timer { kind, .. } if self.quiet[kind.index()].is_some())
+        });
+        all_quiet.then_some(FuseKind::Timers)
+    }
+
+    /// Drains and executes one widened window starting from `batch`, which
+    /// was already popped at `self.now` and classified as `first`. Returns
+    /// the number of timestamp batches consumed (fused segments plus the
+    /// terminator batch, if one was popped).
+    ///
+    /// # Why fusing is exact
+    ///
+    /// While `traffic_free` holds and every fused timer kind is quiet, no
+    /// in-window callback can emit anything except a re-arm of the fired
+    /// timer itself, landing no sooner than the kind's quiet bound after the
+    /// fire — and the drain never pops past `min(bound-carried limit) - 1`,
+    /// so nothing scheduled *during* the window is ever popped *by* the
+    /// window. Mobility only mutates node-private state plus the position
+    /// grid, and the grid is read exclusively by transmission resolution, of
+    /// which the window has none — so per-tick cross-shard position exchange
+    /// is unobservable and only final states need committing. Each
+    /// `(node, kind)` fires at most once per window (its re-arm lands past
+    /// the window), so popped timer events are never stale — asserted at
+    /// commit against the real slot table.
+    fn fused_window(
+        &mut self,
+        first: FuseKind,
+        batch: &mut Vec<(EventHandle, WorldEvent)>,
+        deadline: SimTime,
+    ) -> u64 {
+        let tick = self.scenario.mobility_tick;
+        let start = self.now;
+        let mut segs = std::mem::take(&mut self.fused_segs);
+        let mut events = std::mem::take(&mut self.fused_events);
+        // The earliest time any in-window re-arm can land; fused pops stay
+        // strictly below it.
+        let mut limit: Option<SimTime> = None;
+        // The virtual next mobility tick: sequential stepping would have
+        // scheduled it while processing the last fused tick, so it is not in
+        // the queue — it competes with the queue as a drain candidate here
+        // and is committed (once) after the window.
+        let mut next_tick: Option<SimTime> = None;
+        match first {
+            FuseKind::Mobility => {
+                segs.push(FusedSeg::Mobility { time: start });
+                let next = start + tick;
+                next_tick = (next <= self.end).then_some(next);
+            }
+            FuseKind::Timers => {
+                fuse_timer_batch(
+                    &self.quiet,
+                    start,
+                    batch,
+                    &mut segs,
+                    &mut events,
+                    &mut limit,
+                );
+            }
+        }
+        let mut terminator: Option<SimTime> = None;
+        while segs.len() < MAX_FUSED_BATCHES {
+            let mut cap = deadline;
+            if let Some(limit) = limit {
+                debug_assert!(limit > self.now, "a quiet bound under one clock step");
+                cap = cap.min(limit - SimDuration::from_millis(1));
+            }
+            if let Some(next) = next_tick {
+                cap = cap.min(next);
+            }
+            batch.clear();
+            match self.queue.pop_due_batch_capped(cap, batch) {
+                Some(at) if next_tick == Some(at) => {
+                    // Collision: real events share the virtual tick's
+                    // timestamp. Their seqs predate the tick's (the commit
+                    // assigns it), so they run first — as the terminator —
+                    // and the engine loop pops the re-scheduled tick after.
+                    terminator = Some(at);
+                    break;
+                }
+                Some(at) => match self.fuse_kind(batch) {
+                    Some(FuseKind::Mobility) => {
+                        // A real wheel tick (only possible while no fused
+                        // tick has retired it into `next_tick`).
+                        debug_assert!(next_tick.is_none());
+                        segs.push(FusedSeg::Mobility { time: at });
+                        let next = at + tick;
+                        next_tick = (next <= self.end).then_some(next);
                     }
-                    WorldEvent::TxEnd { frame, tx } => {
-                        self.on_tx_end(frame, tx);
-                        index += 1;
+                    Some(FuseKind::Timers) => {
+                        fuse_timer_batch(
+                            &self.quiet,
+                            at,
+                            batch,
+                            &mut segs,
+                            &mut events,
+                            &mut limit,
+                        );
                     }
-                    WorldEvent::MobilityTick => {
-                        self.on_mobility_tick();
-                        index += 1;
+                    None => {
+                        terminator = Some(at);
+                        break;
                     }
-                    WorldEvent::Publish { index: publication } => {
-                        self.on_publish(publication);
-                        index += 1;
-                    }
-                    WorldEvent::WarmupEnd => {
-                        self.on_warmup_end();
-                        index += 1;
+                },
+                None => {
+                    if next_tick == Some(cap) {
+                        // Nothing in the queue up to the virtual tick: the
+                        // tick itself is the next batch. Fuse it.
+                        segs.push(FusedSeg::Mobility { time: cap });
+                        let next = cap + tick;
+                        next_tick = (next <= self.end).then_some(next);
+                    } else {
+                        break;
                     }
                 }
             }
+        }
+        let consumed = if segs.len() < 2 {
+            // A window of one batch: the per-timestamp path is cheaper (a
+            // fused round trip scans every owned wake time). Replay it the
+            // normal way; the stats only count genuinely widened windows.
+            self.now = start;
+            match first {
+                FuseKind::Mobility => self.on_mobility_tick(),
+                FuseKind::Timers => self.protocol_segment(&events),
+            }
+            1
+        } else {
+            self.execute_fused(&segs, &events, tick);
+            self.stats.windows_widened += 1;
+            self.stats.batches_fused += segs.len() as u64;
+            segs.len() as u64
+        };
+        segs.clear();
+        events.clear();
+        self.fused_segs = segs;
+        self.fused_events = events;
+        if let Some(at) = terminator {
+            self.now = at;
+            self.dispatch_batch(batch);
+            consumed + 1
+        } else {
+            consumed
+        }
+    }
+
+    /// Executes a drained window of ≥ 2 fused segments: one fork/join for
+    /// the whole window, then a sequential commit walk in exact dispatch
+    /// order.
+    fn execute_fused(
+        &mut self,
+        segs: &[FusedSeg],
+        events: &[(EventHandle, WorldEvent)],
+        tick: SimDuration,
+    ) {
+        let shard_count = self.part.len();
+        let last_mobility = segs.iter().rev().find_map(|seg| match seg {
+            FusedSeg::Mobility { time } => Some(*time),
+            FusedSeg::Timers { .. } => None,
+        });
+        // Build each shard's segment list plus its timer items flattened in
+        // (segment, FIFO) order. Mobility segments go to every shard; timer
+        // segments only where the shard owns items.
+        let mut worker_segs: Vec<Vec<WorkerSeg>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let mut worker_items: Vec<Vec<(u32, TimerKind)>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        let mut counts = vec![0usize; shard_count];
+        for seg in segs {
+            match *seg {
+                FusedSeg::Mobility { time } => {
+                    for list in &mut worker_segs {
+                        list.push(WorkerSeg::Mobility { now: time });
+                    }
+                }
+                FusedSeg::Timers { time, start, stop } => {
+                    counts.fill(0);
+                    for &(_, event) in &events[start..stop] {
+                        let (node, kind) = match event {
+                            WorldEvent::Timer { node, kind } => (node, kind),
+                            _ => unreachable!("fused segments hold only Timer events"),
+                        };
+                        let shard = self.part.owner(node.index());
+                        worker_items[shard].push((node.0, kind));
+                        counts[shard] += 1;
+                    }
+                    for (list, &count) in worker_segs.iter_mut().zip(&counts) {
+                        if count > 0 {
+                            list.push(WorkerSeg::Timers { now: time, count });
+                        }
+                    }
+                }
+            }
+        }
+        // Fork: workers first, then shard 0 inline on this thread.
+        let mut outstanding = 0;
+        let mut segs0 = Vec::new();
+        let mut items0 = Vec::new();
+        for (shard, (shard_segs, items)) in worker_segs.into_iter().zip(worker_items).enumerate() {
+            if shard == 0 {
+                segs0 = shard_segs;
+                items0 = items;
+                continue;
+            }
+            if shard_segs.is_empty() {
+                continue;
+            }
+            let bufs = self.take_bufs(items.len());
+            self.inboxes[shard - 1].send(Work::Fused {
+                segs: shard_segs,
+                items,
+                bufs,
+                tick,
+            });
+            outstanding += 1;
+        }
+        let mut bufs0 = self.take_bufs(items0.len());
+        let moves0 = do_fused(
+            &mut self.chunk0,
+            &mut self.scratch0,
+            &segs0,
+            &items0,
+            &mut bufs0,
+            tick,
+        );
+        self.collect_replies(outstanding);
+        let mut moves_list: Vec<Vec<NodeMove>> = Vec::with_capacity(shard_count);
+        let mut bufs_list: Vec<Vec<ActionBuf>> = Vec::with_capacity(shard_count);
+        moves_list.push(moves0);
+        bufs_list.push(bufs0);
+        for shard in 1..shard_count {
+            match self.reply_slots[shard].take() {
+                Some(Reply::Fused { moves, bufs }) => {
+                    moves_list.push(moves);
+                    bufs_list.push(bufs);
+                }
+                None => {
+                    moves_list.push(Vec::new());
+                    bufs_list.push(Vec::new());
+                }
+                Some(_) => unreachable!("mismatched reply kind"),
+            }
+        }
+        // Commit walk: the segments in timestamp order, each timer segment's
+        // events in FIFO order — the exact sequential dispatch order.
+        let mut cursors = vec![0usize; shard_count];
+        for seg in segs {
+            match *seg {
+                FusedSeg::Mobility { time } => {
+                    self.now = time;
+                    // Sequential stepping schedules the successor while
+                    // processing a tick. Only the last one's schedule
+                    // survives the window (the earlier ones were consumed
+                    // virtually), but its seq must be assigned *at this walk
+                    // position*: a later segment's re-arm could land on the
+                    // same future timestamp, and FIFO order there is seq
+                    // order.
+                    if Some(time) == last_mobility {
+                        let next = time + tick;
+                        if next <= self.end {
+                            self.queue.schedule(next, WorldEvent::MobilityTick);
+                        }
+                    }
+                }
+                FusedSeg::Timers { time, start, stop } => {
+                    self.now = time;
+                    for (handle, event) in &events[start..stop] {
+                        let (node, kind) = match *event {
+                            WorldEvent::Timer { node, kind } => (node, kind),
+                            _ => unreachable!("fused segments hold only Timer events"),
+                        };
+                        let shard = self.part.owner(node.index());
+                        let cursor = cursors[shard];
+                        cursors[shard] += 1;
+                        // Quiet kinds are never lazily cancelled, so the
+                        // popped event cannot be stale (the sequential fire
+                        // check would pass) — see the fusing proof.
+                        debug_assert_eq!(
+                            self.timer_slots[node.index()][kind.index()],
+                            Some(*handle),
+                            "a fused timer event went stale mid-window"
+                        );
+                        self.timer_slots[node.index()][kind.index()] = None;
+                        let mut buf = std::mem::take(&mut bufs_list[shard][cursor]);
+                        self.apply_actions(node, &mut buf);
+                        bufs_list[shard][cursor] = buf;
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            *self.traffic_free,
+            "a fused window committed a Broadcast — the quiet table is wrong"
+        );
+        // Final mobility state: grid positions and active/wake-queue routing
+        // for every node advanced at least once, in ascending node order
+        // (shard concatenation preserves it). Untouched nodes kept their
+        // wake-queue entries and wake > last tick, exactly as sequentially.
+        if let Some(last) = last_mobility {
+            let mut next_active = std::mem::take(self.active_scratch);
+            next_active.clear();
+            for moves in &moves_list {
+                for entry in moves {
+                    let index = entry.node as usize;
+                    self.medium.update_position(index, entry.position);
+                    if entry.wake <= last {
+                        // Ends the window moving: it may still hold a queue
+                        // entry from before the window (the coordinator never
+                        // popped in here), which must not wake it again.
+                        self.wake_queue.remove(index);
+                        next_active.push(index);
+                    } else {
+                        self.wake_queue.set(index, entry.wake);
+                    }
+                }
+            }
+            std::mem::swap(self.active, &mut next_active);
+            *self.active_scratch = next_active;
+        }
+        for bufs in bufs_list {
+            self.return_bufs(bufs);
         }
     }
 
@@ -763,6 +1506,7 @@ impl Engine<'_, '_> {
             mac_rng: &mut *self.mac_rng,
             max_jitter: self.radio.max_contention_jitter,
             now: self.now,
+            traffic_free: &mut *self.traffic_free,
         }
         .apply(node, out);
     }
@@ -926,7 +1670,48 @@ impl Engine<'_, '_> {
         classes.clear();
         let parallel = !self.inboxes.is_empty()
             && candidates.len() * (snapshot.overlap_count() + 1) >= PARALLEL_CLASSIFY_MIN_WORK;
-        if parallel {
+        if parallel && self.steal {
+            // Work-stealing variant (opt-in): every shard — coordinator
+            // included — claims fixed-size receiver chunks from a shared
+            // cursor, so a spatially skewed candidate set cannot idle the
+            // far shards. Chunks reassemble in index order: bit-identical.
+            let shard_count = self.part.len();
+            let items: Vec<(u32, Point)> = candidates
+                .iter()
+                .map(|&receiver| (receiver as u32, self.medium.position(receiver)))
+                .collect();
+            let chunk_size = items.len().div_ceil(shard_count * 4).max(64);
+            let shared = Arc::new(StealShared {
+                snapshot,
+                config: self.radio.clone(),
+                items,
+                chunk_size,
+                cursor: AtomicUsize::new(0),
+                results: parking_lot::Mutex::new(Vec::new()),
+            });
+            for inbox in self.inboxes {
+                inbox.send(Work::ClassifySteal {
+                    shared: Arc::clone(&shared),
+                });
+            }
+            steal_classify(&shared);
+            self.collect_replies(self.inboxes.len());
+            for shard in 1..shard_count {
+                match self.reply_slots[shard].take() {
+                    Some(Reply::ClassifySteal) => {}
+                    _ => unreachable!("mismatched reply kind"),
+                }
+            }
+            let Ok(shared) = Arc::try_unwrap(shared) else {
+                unreachable!("workers drop their shared-state clones before replying")
+            };
+            let mut results = shared.results.into_inner();
+            results.sort_unstable_by_key(|&(chunk, _)| chunk);
+            for (_, chunk_classes) in results {
+                classes.extend(chunk_classes);
+            }
+            self.snapshot = shared.snapshot;
+        } else if parallel {
             let shard_count = self.part.len();
             let chunk = candidates.len().div_ceil(shard_count);
             let snapshot = Arc::new(snapshot);
@@ -1164,6 +1949,9 @@ impl Engine<'_, '_> {
     /// Publication: publisher choice draws MAC randomness at the coordinator;
     /// the publish callback runs on the owning shard; the commit is inline.
     fn on_publish(&mut self, index: u32) {
+        // A published event can ride any later quiet timer's broadcast, so
+        // window fusion is off for good from here (until the next populate).
+        *self.traffic_free = false;
         let publication = self.scenario.publications[index as usize].clone();
         let publisher = resolve_publisher_with(
             publication.publisher,

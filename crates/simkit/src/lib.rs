@@ -54,7 +54,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod time;
 
-pub use ids::{BitSet, NodeId, ShardPartition};
+pub use ids::{BitSet, BoundaryPartition, NodeId, ShardPartition};
 pub use rng::SimRng;
 pub use scheduler::{EventHandle, EventQueue, IndexedMinQueue, TimerWheel};
 pub use stats::{OnlineStats, Summary};

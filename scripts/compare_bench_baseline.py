@@ -16,7 +16,12 @@ Exit status is non-zero iff at least one timing entry regressed beyond the
 tolerance. Everything else — improvements, new benchmarks absent from the
 baseline, baseline entries that no longer run, and allocation-metric drift
 (allocation counts are exact, not noisy, but they gate via their own tests,
-not here) — is reported as information or a warning only.
+not here) — is reported as information or a warning only. Coverage drift in
+either direction is summarised in a warn-only section after the table: names
+present in the fresh run but absent from the baseline (new benches whose
+figures are not yet captured) and names in the baseline that this run no
+longer produced (renamed or deleted benches whose stale entries should be
+re-captured out of the baseline).
 
 Usage:
     python3 scripts/compare_bench_baseline.py [--baseline FILE]
@@ -122,6 +127,23 @@ def main() -> int:
         if base is None or now is None or base != now:
             sys.stderr.write(
                 f"warning: alloc metric {name} drifted: baseline {base} -> now {now}\n")
+
+    # Coverage drift (warn-only): entries that exist on only one side mean
+    # the committed baseline no longer mirrors what `cargo bench` produces —
+    # usually a new or renamed bench awaiting a re-capture. Never fatal: the
+    # regression gate above only judges entries present on both sides.
+    uncaptured = sorted(set(benches) - set(base_benches))
+    stale = sorted(set(base_benches) - set(benches))
+    if uncaptured or stale:
+        print("\ncoverage drift between this run and the baseline (warn-only):")
+        for name in uncaptured:
+            print(f"  not in baseline: {name}")
+            sys.stderr.write(f"warning: bench {name} has no baseline entry "
+                             f"(re-run scripts/capture_bench_baseline.py)\n")
+        for name in stale:
+            print(f"  not in this run: {name}")
+            sys.stderr.write(f"warning: baseline entry {name} was not produced "
+                             f"by this run (stale? re-capture the baseline)\n")
 
     print(f"\n{len(benches)} benchmarks: {len(regressed)} regressed, "
           f"{len(improved)} improved beyond ±{args.tolerance:.0%} tolerance")

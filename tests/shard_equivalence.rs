@@ -11,6 +11,12 @@
 //! reference (`World::set_single_shard`) on random scenarios — all four
 //! protocol variants, all mobility models, fresh and arena-recycled worlds,
 //! and the sharded seed-sweep runner.
+//!
+//! The adaptive-lookahead engine (this PR) widens the conservative window
+//! over traffic-free stretches and rebalances shard boundaries by measured
+//! cost; both are pinned here against the doc-hidden fixed-lookahead
+//! reference (`World::set_fixed_lookahead`), and the work-stealing classify
+//! fan-out against the pre-split default.
 
 use frugal::{FloodingPolicy, ProtocolConfig};
 use manet_sim::{
@@ -145,6 +151,50 @@ proptest! {
         assert_sharded_matches_single(scenario, seed, shards);
     }
 
+    /// Adaptive lookahead must be invisible in the reports: a sharded world
+    /// with the default widened windows is bit-identical to one pinned to
+    /// the per-timestamp window (`set_fixed_lookahead`), across random
+    /// scenarios, shard counts and all four protocol variants. The
+    /// publication keeps the run traffic-free only up to 4 s, so both the
+    /// fused and the terminated/fallback paths are exercised.
+    #[test]
+    fn adaptive_lookahead_matches_fixed_window(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..16,
+        shards in 2usize..9,
+        tick_ms in 200u64..1_000,
+        pause_s in 0u64..20,
+        protocol_pick in 0u8..4,
+    ) {
+        let mobility = MobilityKind::RandomWaypoint {
+            area: Area::square(400.0),
+            speed_min: 2.0,
+            speed_max: 25.0,
+            pause: SimDuration::from_secs(pause_s),
+        };
+        let protocol = match protocol_pick {
+            0 => ProtocolKind::Frugal(ProtocolConfig::paper_default()),
+            1 => ProtocolKind::Flooding(FloodingPolicy::Simple),
+            2 => ProtocolKind::Flooding(FloodingPolicy::InterestAware),
+            _ => ProtocolKind::Flooding(FloodingPolicy::NeighborInterest),
+        };
+        let scenario = random_scenario(mobility, protocol, nodes, tick_ms, 180.0);
+        let mut fixed = World::new(scenario.clone(), seed).unwrap();
+        fixed.set_shards(shards);
+        fixed.set_fixed_lookahead(true);
+        let fixed = fixed.run();
+        let mut adaptive = World::new(scenario, seed).unwrap();
+        adaptive.set_shards(shards);
+        let adaptive = adaptive.run();
+        prop_assert_eq!(
+            adaptive,
+            fixed,
+            "adaptive windows diverged from the fixed window at {} shards for seed {}",
+            shards,
+            seed
+        );
+    }
+
     /// Arena-recycled sharded worlds must match fresh single-thread worlds:
     /// the shard knob survives `World::reset` and recycling may never leak
     /// state across seeds.
@@ -213,6 +263,23 @@ fn dense_classification_fanout_matches_single_thread() {
         .unwrap();
     for shards in [2usize, 4] {
         assert_sharded_matches_single(scenario.clone(), 1, shards);
+    }
+    // The work-stealing variant of the same fan-out (opt-in) must be
+    // invisible too: chunks reassemble in index order, so the classification
+    // outcome — and the whole report — is bit-identical to the pre-split
+    // default and the single-thread reference.
+    for shards in [2usize, 4] {
+        let mut reference = World::new(scenario.clone(), 1).unwrap();
+        reference.set_single_shard(true);
+        let reference = reference.run();
+        let mut stealing = World::new(scenario.clone(), 1).unwrap();
+        stealing.set_shards(shards);
+        stealing.set_classify_work_stealing(true);
+        let stealing = stealing.run();
+        assert_eq!(
+            stealing, reference,
+            "work-stealing classification diverged at {shards} shards"
+        );
     }
 }
 
